@@ -1,0 +1,36 @@
+// Ablation (§3): DC sensitivity to the chi-square significance threshold
+// alpha_min. The paper: "the algorithm is quite insensitive to the value of
+// alpha_min, as long as it is much less than 1", and used 1e-6. The sweep
+// reports the final KS statistic and the number of repartitions per run on
+// the reference distribution (S = 1, Z = 1, SD = 2, M = 1 KB).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"KS", "Repartitions"};
+  RunSweep(
+      "Ablation — DC alpha_min sensitivity (reference distribution)",
+      "log10(alpha)", {-12.0, -9.0, -6.0, -3.0, -1.0}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.seed = seed * 7919 + 21;
+        Rng rng(seed * 104'729 + 67);
+        const auto stream =
+            MakeRandomInsertStream(GenerateClusterData(config), rng);
+        DynamicCompressedHistogram h(
+            {.buckets = BucketBudget(Kb(1.0), BucketLayout::kBorderCount),
+             .alpha_min = std::pow(10.0, x)});
+        FrequencyVector truth(config.domain_size);
+        Replay(stream, &h, &truth);
+        return std::vector<double>{
+            KsStatistic(truth, h.Model()),
+            static_cast<double>(h.RepartitionCount())};
+      });
+  return 0;
+}

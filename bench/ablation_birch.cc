@@ -1,0 +1,31 @@
+// Ablation (§2): the Birch clustering baseline the paper evaluated but did
+// not plot ("the best histograms indeed significantly outperformed Birch;
+// due to lack of space, we do not discuss Birch further"). Regenerates the
+// dropped comparison on the Fig. 8 memory sweep.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> algos = {"Birch", "DC", "DADO"};
+  RunSweep(
+      "Ablation — Birch vs dynamic histograms (KS vs memory [KB])",
+      "Memory[KB]", {0.25, 0.5, 1.0, 2.0, 4.0}, algos, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.seed = seed * 7919 + 24;
+        Rng rng(seed * 104'729 + 79);
+        const auto stream =
+            MakeRandomInsertStream(GenerateClusterData(config), rng);
+        std::vector<double> row;
+        for (const auto& algo : algos) {
+          row.push_back(
+              RunDynamicKs(algo, Kb(x), stream, config.domain_size, seed));
+        }
+        return row;
+      });
+  return 0;
+}

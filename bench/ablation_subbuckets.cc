@@ -1,0 +1,54 @@
+// Ablation (§4 "other alternatives"): DADO sub-bucket count.
+// The paper tried 2-4 sub-buckets per bucket and reports that "all
+// alternatives with a small number of sub-buckets (two or three) have
+// comparable performance, with finer subdivisions being worse". This bench
+// regenerates that comparison on the Fig. 6 setting. Memory is charged
+// honestly: a k-counter bucket costs (k+1 words + shared border), so more
+// sub-buckets mean fewer buckets at equal memory.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+double RunDadoK(int sub_buckets, double memory_bytes,
+                const dynhist::UpdateStream& stream,
+                std::int64_t domain_size) {
+  using namespace dynhist;
+  // Space: (n+1) borders + k*n counters -> n = (words - 1) / (k + 1).
+  const double words = memory_bytes / kBytesPerWord;
+  const auto buckets = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>((words - 1.0) / (sub_buckets + 1.0)));
+  DynamicVOptHistogram h({.buckets = buckets,
+                          .policy = DeviationPolicy::kAbsolute,
+                          .sub_buckets = sub_buckets});
+  FrequencyVector truth(domain_size);
+  Replay(stream, &h, &truth);
+  return KsStatistic(truth, h.Model());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"DADO-k2", "DADO-k3", "DADO-k4"};
+  RunSweep(
+      "Ablation — DADO sub-bucket count (KS vs Z, Fig. 6 setting)", "Z",
+      {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.size_skew_z = x;
+        config.num_clusters = 2'000;
+        config.seed = seed * 7919 + 20;
+        Rng rng(seed * 104'729 + 61);
+        const auto stream =
+            MakeRandomInsertStream(GenerateClusterData(config), rng);
+        return std::vector<double>{
+            RunDadoK(2, Kb(1.0), stream, config.domain_size),
+            RunDadoK(3, Kb(1.0), stream, config.domain_size),
+            RunDadoK(4, Kb(1.0), stream, config.domain_size)};
+      });
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace dynhist::bench {
+
+Options Options::FromArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) {
+      options.seeds = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--points=", 0) == 0) {
+      options.points = std::stoll(arg.substr(9));
+    } else if (arg == "--quick") {
+      options.seeds = 1;
+      options.points = 20'000;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    }
+  }
+  DH_CHECK(options.seeds >= 1);
+  DH_CHECK(options.points >= 1);
+  return options;
+}
+
+std::unique_ptr<Histogram> MakeDynamic(const std::string& name,
+                                       double memory_bytes,
+                                       std::uint64_t seed) {
+  if (name == "DC") {
+    return std::make_unique<DynamicCompressedHistogram>(
+        DynamicCompressedConfig{
+            .buckets = BucketBudget(memory_bytes, BucketLayout::kBorderCount)});
+  }
+  if (name == "DADO" || name == "DVO") {
+    return std::make_unique<DynamicVOptHistogram>(DynamicVOptConfig{
+        .buckets = BucketBudget(memory_bytes, BucketLayout::kBorderTwoCounts),
+        .policy = name == "DADO" ? DeviationPolicy::kAbsolute
+                                 : DeviationPolicy::kSquared});
+  }
+  if (name == "AC" || name == "AC20X" || name == "AC40X" || name == "AC60X") {
+    const double factor = name == "AC40X" ? 40.0
+                          : name == "AC60X" ? 60.0
+                                            : 20.0;
+    return std::make_unique<ApproximateCompressedHistogram>(
+        MakeApproximateCompressedConfig(memory_bytes, factor, seed));
+  }
+  if (name == "Birch") {
+    return std::make_unique<Birch1DHistogram>(
+        Birch1DConfig{.max_clusters = BirchClusterBudget(memory_bytes)});
+  }
+  DH_CHECK(false);
+  return nullptr;
+}
+
+HistogramModel BuildStatic(const std::string& name, double memory_bytes,
+                           const FrequencyVector& truth) {
+  const std::int64_t buckets =
+      BucketBudget(memory_bytes, BucketLayout::kBorderCount);
+  if (name == "SC") return BuildCompressed(truth, buckets);
+  if (name == "SVO") return BuildVOptimal(truth, buckets);
+  if (name == "SADO") return BuildSado(truth, buckets);
+  if (name == "SSBM") return BuildSsbm(truth, buckets);
+  if (name == "ED") return BuildEquiDepth(truth, buckets);
+  if (name == "EW") return BuildEquiWidth(truth, buckets);
+  DH_CHECK(false);
+  return HistogramModel();
+}
+
+double RunDynamicKs(const std::string& name, double memory_bytes,
+                    const UpdateStream& stream, std::int64_t domain_size,
+                    std::uint64_t seed) {
+  auto histogram = MakeDynamic(name, memory_bytes, seed);
+  FrequencyVector truth(domain_size);
+  Replay(stream, histogram.get(), &truth);
+  return KsStatistic(truth, histogram->Model());
+}
+
+void RunSweep(const std::string& title, const std::string& x_label,
+              const std::vector<double>& xs,
+              const std::vector<std::string>& series, int seeds,
+              const CellFn& cell) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# seeds averaged per point: %d\n", seeds);
+  std::printf("%-12s", x_label.c_str());
+  for (const std::string& s : series) std::printf("%14s", s.c_str());
+  std::printf("\n");
+  for (const double x : xs) {
+    std::vector<double> sums(series.size(), 0.0);
+    for (int seed = 0; seed < seeds; ++seed) {
+      const std::vector<double> row =
+          cell(x, static_cast<std::uint64_t>(seed));
+      DH_CHECK(row.size() == series.size());
+      for (std::size_t i = 0; i < row.size(); ++i) sums[i] += row[i];
+    }
+    std::printf("%-12.4g", x);
+    for (const double sum : sums) {
+      std::printf("%14.6f", sum / static_cast<double>(seeds));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+void RunTimeline(const std::string& title, const std::string& x_label,
+                 const std::vector<double>& xs,
+                 const std::vector<std::string>& series, int seeds,
+                 const TimelineFn& timeline) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# seeds averaged per point: %d\n", seeds);
+  std::vector<std::vector<double>> sums(
+      xs.size(), std::vector<double>(series.size(), 0.0));
+  for (int seed = 0; seed < seeds; ++seed) {
+    const auto matrix = timeline(static_cast<std::uint64_t>(seed));
+    DH_CHECK(matrix.size() == xs.size());
+    for (std::size_t x = 0; x < xs.size(); ++x) {
+      DH_CHECK(matrix[x].size() == series.size());
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        sums[x][s] += matrix[x][s];
+      }
+    }
+  }
+  std::printf("%-12s", x_label.c_str());
+  for (const std::string& s : series) std::printf("%14s", s.c_str());
+  std::printf("\n");
+  for (std::size_t x = 0; x < xs.size(); ++x) {
+    std::printf("%-12.4g", xs[x]);
+    for (const double sum : sums[x]) {
+      std::printf("%14.6f", sum / static_cast<double>(seeds));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace dynhist::bench

@@ -1,0 +1,77 @@
+// Shared driver for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure of the paper's evaluation
+// (§7, §8): it sweeps the figure's x-axis, runs each plotted algorithm for
+// several seeds (the paper averages ten), and prints the mean KS statistic
+// per point — the same series the paper plots. Flags:
+//   --seeds=N    randomized repetitions per point (default 5; paper: 10)
+//   --points=N   stream length (default 100,000; the paper's test size)
+//   --quick      1 seed, 20,000 points (smoke-test mode)
+
+#ifndef DYNHIST_BENCH_BENCH_UTIL_H_
+#define DYNHIST_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dynhist.h"
+
+namespace dynhist::bench {
+
+/// Command-line options shared by all figure benches.
+struct Options {
+  int seeds = 5;
+  std::int64_t points = 100'000;
+
+  static Options FromArgs(int argc, char** argv);
+};
+
+/// Memory sizes in bytes from the paper's "Memory [KB]" axes.
+inline double Kb(double kb) { return kb * 1024.0; }
+
+/// Named dynamic-histogram factory at a given memory budget. Recognized:
+/// "DC", "DADO", "DVO", "AC" (= AC20X), "AC40X", "AC60X", "Birch".
+std::unique_ptr<Histogram> MakeDynamic(const std::string& name,
+                                       double memory_bytes,
+                                       std::uint64_t seed);
+
+/// Named static-histogram builder at a given memory budget. Recognized:
+/// "SC", "SVO", "SADO", "SSBM", "ED", "EW".
+HistogramModel BuildStatic(const std::string& name, double memory_bytes,
+                           const FrequencyVector& truth);
+
+/// Replays `stream` into a fresh dynamic histogram and returns the final
+/// KS statistic against the exact distribution.
+double RunDynamicKs(const std::string& name, double memory_bytes,
+                    const UpdateStream& stream, std::int64_t domain_size,
+                    std::uint64_t seed);
+
+/// One figure cell: for sweep value x and a seed, produce the KS value of
+/// every series in order.
+using CellFn =
+    std::function<std::vector<double>(double x, std::uint64_t seed)>;
+
+/// Runs the sweep and prints the mean-over-seeds table:
+///     <x_label>  series1  series2 ...
+/// exactly one row per x value.
+void RunSweep(const std::string& title, const std::string& x_label,
+              const std::vector<double>& xs,
+              const std::vector<std::string>& series, int seeds,
+              const CellFn& cell);
+
+/// Timeline variant (Figs. 16-18): one replay per seed yields the whole
+/// row set at once. `timeline(seed)` returns a matrix indexed
+/// [x][series]; rows are averaged over seeds and printed like RunSweep.
+using TimelineFn =
+    std::function<std::vector<std::vector<double>>(std::uint64_t seed)>;
+void RunTimeline(const std::string& title, const std::string& x_label,
+                 const std::vector<double>& xs,
+                 const std::vector<std::string>& series, int seeds,
+                 const TimelineFn& timeline);
+
+}  // namespace dynhist::bench
+
+#endif  // DYNHIST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,36 @@
+// Fig. 8: error vs available memory, under random insertions.
+// Fixed: S = 1, Z = 1, SD = 2, C = 2000, N = 100,000 on [0..5000].
+// Series: DC, DADO, AC (20x disk), DVO. X axis: memory in KB.
+// Paper shape: all errors fall with memory; DADO's error declines faster
+// than AC's sampling error, so AC loses ground as memory grows.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> algos = {"DC", "DADO", "AC", "DVO"};
+  RunSweep(
+      "Fig. 8 — KS vs memory [KB] (random insertions)", "Memory[KB]",
+      {0.25, 0.5, 1.0, 2.0, 3.0, 4.0}, algos, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.center_skew_s = 1.0;
+        config.size_skew_z = 1.0;
+        config.stddev_sd = 2.0;
+        config.num_clusters = 2'000;
+        config.seed = seed * 7919 + 4;
+        Rng rng(seed * 104'729 + 17);
+        const auto stream =
+            MakeRandomInsertStream(GenerateClusterData(config), rng);
+        std::vector<double> row;
+        for (const auto& algo : algos) {
+          row.push_back(
+              RunDynamicKs(algo, Kb(x), stream, config.domain_size, seed));
+        }
+        return row;
+      });
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 11: KS statistic vs within-cluster SD — static comparison.
+// Fixed: S = 1, Z = 1, C = 50, M = 0.14 KB.
+// Series: SADO, SVO, SC, DADO, SSBM.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"SADO", "SVO", "SC", "DADO",
+                                           "SSBM"};
+  const double memory = Kb(0.14);
+  RunSweep(
+      "Fig. 11 — KS vs SD, static histograms vs DADO", "SD",
+      {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.center_skew_s = 1.0;
+        config.size_skew_z = 1.0;
+        config.stddev_sd = x;
+        config.num_clusters = 50;
+        config.seed = seed * 7919 + 7;
+        Rng rng(seed * 104'729 + 29);
+        auto values = GenerateClusterData(config);
+        const FrequencyVector truth(config.domain_size, values);
+        const auto stream = MakeRandomInsertStream(std::move(values), rng);
+        std::vector<double> row;
+        for (const auto& name : series) {
+          if (name == "DADO") {
+            row.push_back(RunDynamicKs(name, memory, stream,
+                                       config.domain_size, seed));
+          } else {
+            row.push_back(
+                KsStatistic(truth, BuildStatic(name, memory, truth)));
+          }
+        }
+        return row;
+      });
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 12: error vs available memory — static comparison.
+// Fixed: S = 1, Z = 1, SD = 1, C = 50. X axis: memory 0.11 .. 0.17 KB.
+// Series: SADO, SVO, SC, DADO, SSBM.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"SADO", "SVO", "SC", "DADO",
+                                           "SSBM"};
+  RunSweep(
+      "Fig. 12 — KS vs memory [KB], static histograms vs DADO", "Memory[KB]",
+      {0.11, 0.12, 0.13, 0.14, 0.15, 0.16, 0.17}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.center_skew_s = 1.0;
+        config.size_skew_z = 1.0;
+        config.stddev_sd = 1.0;
+        config.num_clusters = 50;
+        config.seed = seed * 7919 + 8;
+        Rng rng(seed * 104'729 + 31);
+        auto values = GenerateClusterData(config);
+        const FrequencyVector truth(config.domain_size, values);
+        const auto stream = MakeRandomInsertStream(std::move(values), rng);
+        std::vector<double> row;
+        for (const auto& name : series) {
+          if (name == "DADO") {
+            row.push_back(RunDynamicKs(name, Kb(x), stream,
+                                       config.domain_size, seed));
+          } else {
+            row.push_back(
+                KsStatistic(truth, BuildStatic(name, Kb(x), truth)));
+          }
+        }
+        return row;
+      });
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 14: sensitivity of the AC histogram to available disk space.
+// Fixed: Z = 1, SD = 2, C = 1000, M = 1 KB. X axis: S.
+// Series: AC with 20x/40x/60x disk, static SC, DADO.
+// Paper shape: AC improves with a bigger backing sample and converges
+// toward SC, but stays worse than DADO even at 60x.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"AC20X", "AC40X", "AC60X", "SC",
+                                           "DADO"};
+  const double memory = Kb(1.0);
+  RunSweep(
+      "Fig. 14 — AC disk-space sensitivity (KS vs S, C = 1000)", "S",
+      {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.center_skew_s = x;
+        config.size_skew_z = 1.0;
+        config.stddev_sd = 2.0;
+        config.num_clusters = 1'000;
+        config.seed = seed * 7919 + 10;
+        Rng rng(seed * 104'729 + 41);
+        auto values = GenerateClusterData(config);
+        const FrequencyVector truth(config.domain_size, values);
+        const auto stream = MakeRandomInsertStream(std::move(values), rng);
+        std::vector<double> row;
+        for (const auto& name : series) {
+          if (name == "SC") {
+            row.push_back(
+                KsStatistic(truth, BuildStatic(name, memory, truth)));
+          } else {
+            row.push_back(RunDynamicKs(name, memory, stream,
+                                       config.domain_size, seed));
+          }
+        }
+        return row;
+      });
+  return 0;
+}

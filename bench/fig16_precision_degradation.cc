@@ -1,0 +1,51 @@
+// Fig. 16: error vs volume of inserts — precision degradation as the data
+// grows (§7.2.1). Data arrives in sorted order; the KS statistic is
+// recorded after each 5% of the stream.
+// Fixed: S = 1, Z = 1, SD = 2, C = 2000, M = 1 KB.
+// Series: DADO, AC (20x), SC (static Compressed rebuilt from the exact
+// distribution at each checkpoint — the "periodic rebuild" upper baseline).
+// Paper shape: error rises while distinct values outnumber buckets, then
+// DADO stabilizes; SC is the floor.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"DADO", "AC", "SC"};
+  std::vector<double> fractions;
+  for (int i = 1; i <= 20; ++i) fractions.push_back(0.05 * i);
+  const double memory = Kb(1.0);
+
+  RunTimeline(
+      "Fig. 16 — KS vs fraction of data inserted (sorted order)",
+      "Fraction", fractions, series, options.seeds,
+      [&](std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.seed = seed * 7919 + 12;
+        const auto stream =
+            MakeSortedInsertStream(GenerateClusterData(config));
+
+        std::vector<std::vector<double>> matrix;
+        auto dado = MakeDynamic("DADO", memory, seed);
+        auto ac = MakeDynamic("AC", memory, seed);
+        FrequencyVector truth(config.domain_size);
+        std::size_t op = 0;
+        for (std::size_t checkpoint = 1; checkpoint <= 20; ++checkpoint) {
+          const std::size_t until = checkpoint * stream.size() / 20;
+          for (; op < until; ++op) {
+            dado->Insert(stream[op].value);
+            ac->Insert(stream[op].value);
+            truth.Insert(stream[op].value);
+          }
+          matrix.push_back(
+              {KsStatistic(truth, dado->Model()),
+               KsStatistic(truth, ac->Model()),
+               KsStatistic(truth, BuildStatic("SC", memory, truth))});
+        }
+        return matrix;
+      });
+  return 0;
+}

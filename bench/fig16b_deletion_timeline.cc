@@ -1,0 +1,76 @@
+// §7.3.1: precision degradation over time with a 25% deletion rate.
+// Data is inserted in sorted order; after every insertion one random live
+// tuple is deleted with probability 25%. The paper omits the plot, noting
+// the results "are similar to the experiments without deletions (Fig. 16)"
+// — this bench regenerates the omitted series so the claim can be checked.
+// Fixed: S = 1, Z = 1, SD = 2, M = 1 KB. Series: DADO, AC.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"DADO", "AC"};
+  std::vector<double> fractions;
+  for (int i = 1; i <= 20; ++i) fractions.push_back(0.05 * i);
+  const double memory = Kb(1.0);
+
+  RunTimeline(
+      "§7.3.1 — KS vs fraction of stream processed (sorted inserts, 25% "
+      "mixed random deletes)",
+      "Fraction", fractions, series, options.seeds,
+      [&](std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.seed = seed * 7919 + 13;
+        auto values = GenerateClusterData(config);
+        std::sort(values.begin(), values.end());
+        Rng delete_rng(seed * 104'729 + 43);
+        // Build the §7.3.1 stream: sorted inserts with 25%-probability
+        // random deletes interleaved.
+        UpdateStream stream;
+        std::vector<std::int64_t> live;
+        for (const std::int64_t v : values) {
+          stream.push_back(UpdateOp::Insert(v));
+          live.push_back(v);
+          if (delete_rng.Bernoulli(0.25) && !live.empty()) {
+            const std::size_t i = static_cast<std::size_t>(
+                delete_rng.UniformInt(live.size()));
+            stream.push_back(UpdateOp::Delete(live[i]));
+            live[i] = live.back();
+            live.pop_back();
+          }
+        }
+
+        std::vector<std::vector<double>> matrix(20);
+        auto dado = MakeDynamic("DADO", memory, seed);
+        auto ac = MakeDynamic("AC", memory, seed);
+        FrequencyVector truth_dado(config.domain_size);
+        FrequencyVector truth_ac(config.domain_size);
+        std::size_t op = 0;
+        for (std::size_t checkpoint = 1; checkpoint <= 20; ++checkpoint) {
+          const std::size_t until = checkpoint * stream.size() / 20;
+          for (; op < until; ++op) {
+            const UpdateOp& u = stream[op];
+            if (u.kind == UpdateOp::Kind::kInsert) {
+              dado->Insert(u.value);
+              ac->Insert(u.value);
+              truth_dado.Insert(u.value);
+              truth_ac.Insert(u.value);
+            } else {
+              dado->Delete(u.value, truth_dado.Count(u.value));
+              ac->Delete(u.value, truth_ac.Count(u.value));
+              truth_dado.Delete(u.value);
+              truth_ac.Delete(u.value);
+            }
+          }
+          matrix[checkpoint - 1] = {KsStatistic(truth_dado, dado->Model()),
+                                    KsStatistic(truth_ac, ac->Model())};
+        }
+        return matrix;
+      });
+  return 0;
+}

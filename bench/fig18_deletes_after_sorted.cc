@@ -1,0 +1,64 @@
+// Fig. 18: random deletes after *sorted* inserts.
+// Same protocol as Fig. 17, but the data is loaded in sorted order first.
+// Fixed: S = 1, Z = 1, SD = 2, C = 1000, M = 1 KB. Series: DADO, AC.
+// Paper shape: this is DADO's acknowledged weak spot (§7.3) — sorted
+// loading spills bucket mass toward the histogram's center, so heavy
+// deletions drain the wrong counters and the error climbs, unlike Fig. 17.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"DADO", "AC"};
+  const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                         0.5, 0.6, 0.7, 0.8};
+  const double memory = Kb(1.0);
+
+  RunTimeline(
+      "Fig. 18 — KS vs fraction randomly deleted (after sorted inserts, "
+      "C = 1000)",
+      "Deleted", fractions, series, options.seeds,
+      [&](std::uint64_t seed) {
+        ClusterDataConfig config;
+        config.num_points = options.points;
+        config.num_clusters = 1'000;
+        config.seed = seed * 7919 + 15;
+        Rng rng(seed * 104'729 + 53);
+        const auto stream = MakeSortedInsertsThenRandomDeletes(
+            GenerateClusterData(config), 0.8, rng);
+        const std::size_t inserts = static_cast<std::size_t>(options.points);
+
+        auto dado = MakeDynamic("DADO", memory, seed);
+        auto ac = MakeDynamic("AC", memory, seed);
+        FrequencyVector truth_dado(config.domain_size);
+        FrequencyVector truth_ac(config.domain_size);
+        const auto apply = [&](const UpdateOp& u, Histogram* h,
+                               FrequencyVector* truth) {
+          if (u.kind == UpdateOp::Kind::kInsert) {
+            h->Insert(u.value);
+            truth->Insert(u.value);
+          } else {
+            h->Delete(u.value, truth->Count(u.value));
+            truth->Delete(u.value);
+          }
+        };
+
+        std::vector<std::vector<double>> matrix;
+        std::size_t op = 0;
+        for (const double fraction : fractions) {
+          const std::size_t until =
+              inserts + static_cast<std::size_t>(
+                            fraction * static_cast<double>(inserts));
+          for (; op < until && op < stream.size(); ++op) {
+            apply(stream[op], dado.get(), &truth_dado);
+            apply(stream[op], ac.get(), &truth_ac);
+          }
+          matrix.push_back({KsStatistic(truth_dado, dado->Model()),
+                            KsStatistic(truth_ac, ac->Model())});
+        }
+        return matrix;
+      });
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 20: distributed global histograms — error vs histogram memory.
+// 5 sites, Z_Freq = 1, Z_Site = 0; X axis: memory 0.1 .. 1.0 KB (every
+// histogram, local and global, gets the same budget).
+// Series: "histogram + union" (local SSBMs superimposed then reduced) vs
+// "union + histogram" (data merged, one SSBM built).
+// Paper shape: the two curves are approximately equal.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  using namespace dynhist::distributed;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"hist+union", "union+hist"};
+  RunSweep(
+      "Fig. 20 — distributed: KS vs histogram memory [KB] (5 sites)",
+      "Memory[KB]", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+      series, options.seeds, [&](double x, std::uint64_t seed) {
+        UnionWorkloadConfig config;
+        config.total_points = options.points;
+        config.num_sites = 5;
+        config.zipf_freq = 1.0;
+        config.zipf_site = 0.0;
+        config.seed = seed * 7919 + 16;
+        const auto sites = GenerateUnionWorkload(config);
+        const FrequencyVector all = UnionData(sites);
+        return std::vector<double>{
+            KsStatistic(all,
+                        BuildGlobalHistogram(
+                            sites, GlobalStrategy::kHistogramThenUnion,
+                            Kb(x))),
+            KsStatistic(all,
+                        BuildGlobalHistogram(
+                            sites, GlobalStrategy::kUnionThenHistogram,
+                            Kb(x)))};
+      });
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 22: distributed global histograms — error vs number of sites.
+// Z_Freq = 1, Z_Site = 0, M = 250 bytes; X axis: 1 .. 20 sites.
+// Series: "histogram + union" vs "union + histogram".
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  using namespace dynhist::distributed;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"hist+union", "union+hist"};
+  RunSweep(
+      "Fig. 22 — distributed: KS vs number of sites (M = 250 B)", "Sites",
+      {1, 2, 4, 6, 8, 10, 14, 20}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        UnionWorkloadConfig config;
+        config.total_points = options.points;
+        config.num_sites = static_cast<std::size_t>(x);
+        config.zipf_freq = 1.0;
+        config.zipf_site = 0.0;
+        config.seed = seed * 7919 + 18;
+        const auto sites = GenerateUnionWorkload(config);
+        const FrequencyVector all = UnionData(sites);
+        return std::vector<double>{
+            KsStatistic(all,
+                        BuildGlobalHistogram(
+                            sites, GlobalStrategy::kHistogramThenUnion,
+                            250.0)),
+            KsStatistic(all,
+                        BuildGlobalHistogram(
+                            sites, GlobalStrategy::kUnionThenHistogram,
+                            250.0))};
+      });
+  return 0;
+}

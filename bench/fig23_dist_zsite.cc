@@ -1,0 +1,36 @@
+// Fig. 23: distributed global histograms — error vs skew in member sizes
+// (Z_Site). 5 sites, Z_Freq = 1, M = 250 bytes.
+// Series: "histogram + union" vs "union + histogram".
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+  using namespace dynhist::distributed;
+  const Options options = Options::FromArgs(argc, argv);
+  const std::vector<std::string> series = {"hist+union", "union+hist"};
+  RunSweep(
+      "Fig. 23 — distributed: KS vs Z_Site (5 sites, M = 250 B)", "Z_Site",
+      {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}, series, options.seeds,
+      [&](double x, std::uint64_t seed) {
+        UnionWorkloadConfig config;
+        config.total_points = options.points;
+        config.num_sites = 5;
+        config.zipf_freq = 1.0;
+        config.zipf_site = x;
+        config.seed = seed * 7919 + 19;
+        const auto sites = GenerateUnionWorkload(config);
+        const FrequencyVector all = UnionData(sites);
+        return std::vector<double>{
+            KsStatistic(all,
+                        BuildGlobalHistogram(
+                            sites, GlobalStrategy::kHistogramThenUnion,
+                            250.0)),
+            KsStatistic(all,
+                        BuildGlobalHistogram(
+                            sites, GlobalStrategy::kUnionThenHistogram,
+                            250.0))};
+      });
+  return 0;
+}

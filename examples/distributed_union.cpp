@@ -1,0 +1,72 @@
+// Shared-nothing global histograms (§8): several sites each hold a
+// fragment of one logical relation; a coordinator needs a union-level
+// histogram without shipping the data.
+//
+// The example builds the global histogram both ways —
+//   "histogram + union": each site sends only its ~250-byte SSBM histogram;
+//                        the coordinator superimposes and reduces them;
+//   "union + histogram": the coordinator receives all tuples and builds
+//                        the histogram directly —
+// and shows they reach comparable quality while moving wildly different
+// byte volumes, which is the point of the technique.
+
+#include <cstdio>
+
+#include "src/dynhist.h"
+
+int main() {
+  using namespace dynhist;
+  using namespace dynhist::distributed;
+
+  UnionWorkloadConfig config;
+  config.total_points = 100'000;
+  config.num_sites = 8;
+  config.zipf_freq = 1.0;
+  config.zipf_site = 0.5;  // uneven fragment sizes
+  config.seed = 11;
+  const std::vector<Site> sites = GenerateUnionWorkload(config);
+  const double memory = 250.0;  // bytes per histogram (paper default)
+
+  std::printf("site   tuples   range            local-histogram KS\n");
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const auto& data = sites[s].data();
+    const auto local = sites[s].BuildLocalHistogram(memory);
+    std::printf("%4zu   %6lld   [%4lld .. %4lld]   %.4f\n", s,
+                static_cast<long long>(data.TotalCount()),
+                static_cast<long long>(data.MinValue()),
+                static_cast<long long>(data.MaxValue()),
+                KsStatistic(data, local));
+  }
+
+  const FrequencyVector global_truth = UnionData(sites);
+  const auto via_histograms = BuildGlobalHistogram(
+      sites, GlobalStrategy::kHistogramThenUnion, memory);
+  const auto via_data = BuildGlobalHistogram(
+      sites, GlobalStrategy::kUnionThenHistogram, memory);
+
+  const double bytes_shipped_histograms =
+      static_cast<double>(sites.size()) * memory;
+  const double bytes_shipped_data =
+      static_cast<double>(global_truth.TotalCount()) * kBytesPerWord;
+
+  std::printf("\nglobal histogram quality (KS vs the exact union):\n");
+  std::printf("  histogram + union : %.4f   (~%.1f KB shipped)\n",
+              KsStatistic(global_truth, via_histograms),
+              bytes_shipped_histograms / 1024.0);
+  std::printf("  union + histogram : %.4f   (~%.1f KB shipped)\n",
+              KsStatistic(global_truth, via_data),
+              bytes_shipped_data / 1024.0);
+
+  // Superposition alone is lossless (§8): its CDF is exactly the sum of
+  // the member histograms' CDFs.
+  std::vector<HistogramModel> locals;
+  for (const Site& site : sites) {
+    locals.push_back(site.BuildLocalHistogram(memory));
+  }
+  const auto superimposed = Superimpose(locals);
+  std::printf(
+      "  superposition (before reduction): %zu buckets, KS %.4f — no "
+      "information lost, just more buckets\n",
+      superimposed.NumBuckets(), KsStatistic(global_truth, superimposed));
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "src/cluster/birch1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/histogram/budget.h"
+
+namespace dynhist {
+
+std::int64_t BirchClusterBudget(double memory_bytes) {
+  DH_CHECK(memory_bytes > 0.0);
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(memory_bytes /
+                                   (3.0 * static_cast<double>(kBytesPerWord))));
+}
+
+double Birch1DHistogram::ClusterFeature::Radius() const {
+  DH_DCHECK(n > 0.0);
+  const double mean = ls / n;
+  return std::sqrt(std::max(0.0, ss / n - mean * mean));
+}
+
+Birch1DHistogram::Birch1DHistogram(const Birch1DConfig& config)
+    : config_(config), threshold_(config.initial_threshold) {
+  DH_CHECK(config.max_clusters >= 2);
+  DH_CHECK(config.initial_threshold > 0.0);
+}
+
+std::size_t Birch1DHistogram::NearestCluster(double x) const {
+  DH_DCHECK(!clusters_.empty());
+  // Clusters are sorted by centroid: binary search the insertion point and
+  // compare the two neighbors.
+  const auto it = std::lower_bound(
+      clusters_.begin(), clusters_.end(), x,
+      [](const ClusterFeature& c, double v) { return c.Centroid() < v; });
+  if (it == clusters_.begin()) return 0;
+  if (it == clusters_.end()) return clusters_.size() - 1;
+  const auto right = static_cast<std::size_t>(it - clusters_.begin());
+  const std::size_t left = right - 1;
+  return (x - clusters_[left].Centroid() <= clusters_[right].Centroid() - x)
+             ? left
+             : right;
+}
+
+void Birch1DHistogram::Rebuild() {
+  // BIRCH rebuild: grow the threshold and agglomerate adjacent clusters
+  // while the merged radius stays inside it.
+  while (static_cast<std::int64_t>(clusters_.size()) > config_.max_clusters) {
+    threshold_ *= 1.5;
+    std::vector<ClusterFeature> merged;
+    merged.reserve(clusters_.size());
+    merged.push_back(clusters_.front());
+    for (std::size_t i = 1; i < clusters_.size(); ++i) {
+      ClusterFeature candidate = merged.back();
+      candidate.n += clusters_[i].n;
+      candidate.ls += clusters_[i].ls;
+      candidate.ss += clusters_[i].ss;
+      if (candidate.Radius() <= threshold_) {
+        merged.back() = candidate;
+      } else {
+        merged.push_back(clusters_[i]);
+      }
+    }
+    clusters_ = std::move(merged);
+  }
+}
+
+void Birch1DHistogram::Insert(std::int64_t value) {
+  const double x = static_cast<double>(value) + 0.5;  // cell center
+  total_ += 1.0;
+  if (clusters_.empty()) {
+    clusters_.push_back({1.0, x, x * x});
+    return;
+  }
+  const std::size_t nearest = NearestCluster(x);
+  ClusterFeature absorbed = clusters_[nearest];
+  absorbed.n += 1.0;
+  absorbed.ls += x;
+  absorbed.ss += x * x;
+  if (absorbed.Radius() <= threshold_) {
+    clusters_[nearest] = absorbed;
+    return;
+  }
+  // Found a new cluster; keep the vector sorted by centroid.
+  const ClusterFeature fresh{1.0, x, x * x};
+  const auto it = std::lower_bound(
+      clusters_.begin(), clusters_.end(), x,
+      [](const ClusterFeature& c, double v) { return c.Centroid() < v; });
+  clusters_.insert(it, fresh);
+  if (static_cast<std::int64_t>(clusters_.size()) > config_.max_clusters) {
+    Rebuild();
+  }
+}
+
+void Birch1DHistogram::Delete(std::int64_t value,
+                              std::int64_t /*live_copies_before*/) {
+  if (clusters_.empty()) return;
+  const double x = static_cast<double>(value) + 0.5;
+  // Remove the point from the nearest cluster that still has mass.
+  std::size_t i = NearestCluster(x);
+  if (clusters_[i].n < 1.0) {
+    std::size_t best = clusters_.size();
+    for (std::size_t j = 0; j < clusters_.size(); ++j) {
+      if (clusters_[j].n >= 1.0 &&
+          (best == clusters_.size() ||
+           std::fabs(clusters_[j].Centroid() - x) <
+               std::fabs(clusters_[best].Centroid() - x))) {
+        best = j;
+      }
+    }
+    if (best == clusters_.size()) return;  // nothing left to remove
+    i = best;
+  }
+  ClusterFeature& c = clusters_[i];
+  // Removing an "average" member keeps the CF consistent without tuple
+  // identity: scale the sums down by the departing fraction.
+  const double keep = (c.n - 1.0) / c.n;
+  c.ls *= keep;
+  c.ss *= keep;
+  c.n -= 1.0;
+  total_ -= 1.0;
+  if (c.n <= 0.0) {
+    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+HistogramModel Birch1DHistogram::Model() const {
+  if (clusters_.empty()) return HistogramModel();
+  // Each cluster approximates a uniform span of 2*sqrt(3)*radius around its
+  // centroid (matching the cluster's variance), clipped against neighbors
+  // so the pieces stay disjoint; degenerate clusters get one cell.
+  std::vector<HistogramModel::Piece> pieces;
+  pieces.reserve(clusters_.size());
+  double previous_right = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const ClusterFeature& c = clusters_[i];
+    const double half =
+        std::max(0.5, std::sqrt(3.0) * c.Radius());
+    double left = c.Centroid() - half;
+    double right = c.Centroid() + half;
+    if (i > 0) {
+      const double mid =
+          0.5 * (clusters_[i - 1].Centroid() + c.Centroid());
+      left = std::max(left, std::min(mid, right - 1e-6));
+      left = std::max(left, previous_right);
+    }
+    if (i + 1 < clusters_.size()) {
+      const double mid =
+          0.5 * (c.Centroid() + clusters_[i + 1].Centroid());
+      right = std::min(right, std::max(mid, left + 1e-6));
+    }
+    if (right <= left) right = left + 1e-6;
+    pieces.push_back({left, right, c.n});
+    previous_right = right;
+  }
+  return HistogramModel::FromSimpleBuckets(std::move(pieces));
+}
+
+}  // namespace dynhist

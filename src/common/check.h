@@ -1,0 +1,39 @@
+// Invariant-checking macros used throughout dynhist.
+//
+// DH_CHECK fires in every build type: histogram maintenance is cheap relative
+// to the checked conditions and a silently corrupted histogram poisons every
+// estimate produced afterwards, so we keep the checks on in Release builds.
+// DH_DCHECK compiles out in NDEBUG builds and is for hot-loop invariants.
+
+#ifndef DYNHIST_COMMON_CHECK_H_
+#define DYNHIST_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynhist::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "DH_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dynhist::internal
+
+#define DH_CHECK(expr)                                               \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dynhist::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define DH_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define DH_DCHECK(expr) DH_CHECK(expr)
+#endif
+
+#endif  // DYNHIST_COMMON_CHECK_H_

@@ -1,0 +1,68 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+
+std::vector<double> ZipfWeights(std::size_t k, double z) {
+  DH_CHECK(k >= 1);
+  DH_CHECK(z >= 0.0);
+  std::vector<double> weights(k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -z);
+    sum += weights[i];
+  }
+  for (double& w : weights) w /= sum;
+  return weights;
+}
+
+std::vector<std::int64_t> ZipfShares(std::int64_t total, std::size_t k,
+                                     double z) {
+  DH_CHECK(total >= 0);
+  const std::vector<double> weights = ZipfWeights(k, z);
+  std::vector<std::int64_t> shares(k);
+  std::vector<std::pair<double, std::size_t>> remainders(k);
+  std::int64_t allocated = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double exact = weights[i] * static_cast<double>(total);
+    shares[i] = static_cast<std::int64_t>(exact);
+    allocated += shares[i];
+    remainders[i] = {exact - std::floor(exact), i};
+  }
+  // Largest-remainder rounding: hand the leftover units to the ranks that
+  // were truncated the most (ties broken by rank for determinism).
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::int64_t r = 0; r < total - allocated; ++r) {
+    shares[remainders[static_cast<std::size_t>(r) % k].second] += 1;
+  }
+  DH_CHECK(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}) ==
+           total);
+  return shares;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t k, double z)
+    : weights_(ZipfWeights(k, z)), cdf_(k) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc += weights_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace dynhist

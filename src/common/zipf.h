@@ -1,0 +1,51 @@
+// Zipf-law mass allocation and sampling.
+//
+// The paper's synthetic workloads (§6.1) use the Zipf law [15] for the sizes
+// of data clusters (parameter Z), the spreads of cluster centers (parameter
+// S), and in the distributed experiments for intra-site value frequencies
+// (Z_Freq) and site sizes (Z_Site). A Zipf distribution with skew z over k
+// ranks assigns rank i (1-based) probability proportional to 1 / i^z;
+// z = 0 degenerates to uniform.
+
+#ifndef DYNHIST_COMMON_ZIPF_H_
+#define DYNHIST_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace dynhist {
+
+/// Normalized Zipf probabilities for ranks 1..k with skew z (rank 1 largest).
+/// Requires k >= 1 and z >= 0.
+std::vector<double> ZipfWeights(std::size_t k, double z);
+
+/// Splits `total` into k integer shares proportional to Zipf(z) weights using
+/// largest-remainder rounding, so the shares sum to exactly `total` and are
+/// ordered by rank (share[0] largest).
+std::vector<std::int64_t> ZipfShares(std::int64_t total, std::size_t k,
+                                     double z);
+
+/// Samples ranks 0..k-1 with Zipf(z) probabilities via an inverted CDF.
+class ZipfDistribution {
+ public:
+  /// Precomputes the CDF for k ranks with skew z.
+  ZipfDistribution(std::size_t k, double z);
+
+  /// Draws one rank in [0, k). O(log k).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability of rank i (0-based).
+  double Probability(std::size_t i) const { return weights_[i]; }
+
+  std::size_t size() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_COMMON_ZIPF_H_

@@ -1,0 +1,121 @@
+#include "src/data/cluster_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+
+namespace dynhist {
+
+namespace {
+
+std::int64_t ClampToDomain(double x, std::int64_t domain_size) {
+  const auto v = static_cast<std::int64_t>(std::llround(x));
+  if (v < 0) return 0;
+  if (v >= domain_size) return domain_size - 1;
+  return v;
+}
+
+// Draws one value from a cluster centered at `center`.
+std::int64_t DrawValue(ClusterShape shape, double center, double sd,
+                       std::int64_t domain_size, Rng& rng) {
+  if (sd == 0.0) return ClampToDomain(center, domain_size);
+  double x = 0.0;
+  switch (shape) {
+    case ClusterShape::kNormal:
+      x = rng.Normal(center, sd);
+      break;
+    case ClusterShape::kUniform: {
+      const double half_width = sd * std::sqrt(3.0);
+      x = rng.UniformDouble(center - half_width, center + half_width);
+      break;
+    }
+    case ClusterShape::kExponential: {
+      // Symmetric exponential (Laplace) with standard deviation sd:
+      // scale b satisfies Var = 2 b^2.
+      const double b = sd / std::sqrt(2.0);
+      const double magnitude = rng.Exponential(b);
+      x = rng.Bernoulli(0.5) ? center + magnitude : center - magnitude;
+      break;
+    }
+  }
+  return ClampToDomain(x, domain_size);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> GenerateClusterData(
+    const ClusterDataConfig& config) {
+  DH_CHECK(config.num_points >= 0);
+  DH_CHECK(config.domain_size > 0);
+  DH_CHECK(config.num_clusters >= 1);
+  DH_CHECK(config.stddev_sd >= 0.0);
+  Rng rng(config.seed);
+
+  const auto c = static_cast<std::size_t>(config.num_clusters);
+
+  // Cluster separations follow Zipf(S); centers are the running sums of the
+  // (randomly permuted) separations, scaled to span the domain. S = 0 gives
+  // evenly spaced centers; large S concentrates most centers in a small
+  // region with a few huge gaps.
+  std::vector<double> spreads = ZipfWeights(c, config.center_skew_s);
+  std::shuffle(spreads.begin(), spreads.end(), rng);
+  std::vector<double> centers(c);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < c; ++i) {
+    // Each cluster sits at the midpoint of its spread segment, keeping the
+    // first and last clusters away from the domain edges (a cluster pinned
+    // at an edge would have half its shape clamped away).
+    centers[i] = acc + spreads[i] / 2.0;  // in (0, 1)
+    acc += spreads[i];
+  }
+  const double scale = static_cast<double>(config.domain_size - 1);
+  for (double& center : centers) center *= scale;
+
+  // Cluster sizes follow Zipf(Z). The correlation knob controls how size
+  // ranks line up with separation ranks (§6.1; fixed to random in the
+  // paper's reported experiments).
+  std::vector<std::int64_t> sizes =
+      ZipfShares(config.num_points, c, config.size_skew_z);
+  switch (config.correlation) {
+    case SizeSpreadCorrelation::kRandom:
+      std::shuffle(sizes.begin(), sizes.end(), rng);
+      break;
+    case SizeSpreadCorrelation::kPositive:
+    case SizeSpreadCorrelation::kNegative: {
+      // Order cluster indices by their separation; hand out sizes so that
+      // rank correlation with separations is +1 (or -1). ZipfShares returns
+      // sizes in descending order already.
+      std::vector<std::size_t> order(c);
+      for (std::size_t i = 0; i < c; ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return spreads[a] > spreads[b];
+                       });
+      if (config.correlation == SizeSpreadCorrelation::kNegative) {
+        std::reverse(order.begin(), order.end());
+      }
+      std::vector<std::int64_t> assigned(c);
+      for (std::size_t rank = 0; rank < c; ++rank) {
+        assigned[order[rank]] = sizes[rank];
+      }
+      sizes = std::move(assigned);
+      break;
+    }
+  }
+
+  std::vector<std::int64_t> values;
+  values.reserve(static_cast<std::size_t>(config.num_points));
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::int64_t p = 0; p < sizes[i]; ++p) {
+      values.push_back(DrawValue(config.shape, centers[i], config.stddev_sd,
+                                 config.domain_size, rng));
+    }
+  }
+  DH_CHECK(static_cast<std::int64_t>(values.size()) == config.num_points);
+  return values;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,60 @@
+// Parameterized synthetic cluster data generator (§6.1).
+//
+// The paper's test distributions "contain clusters of data, characterized by
+// the position of their center, their size, and shape. The Zipf law governs
+// positions and sizes of clusters." The tunable knobs are:
+//   S  — Zipf skew of the spreads between cluster centers,
+//   Z  — Zipf skew of the cluster sizes,
+//   SD — standard deviation within a cluster (0 => point cluster),
+//   C  — number of clusters (2000 or 50 in the paper),
+// plus the dimensions the paper fixed after finding they did not matter:
+// cluster shape (normal / uniform / exponential) and the correlation between
+// cluster sizes and separations (random / positive / negative).
+
+#ifndef DYNHIST_DATA_CLUSTER_GENERATOR_H_
+#define DYNHIST_DATA_CLUSTER_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dynhist {
+
+/// Shape of the within-cluster value distribution (§6.1; the paper fixes
+/// Normal after finding no significant shape sensitivity).
+enum class ClusterShape {
+  kNormal,       ///< values ~ Normal(center, SD)
+  kUniform,      ///< values ~ Uniform(center ± SD·√3)  (same std. deviation)
+  kExponential,  ///< values ~ center ± Laplace(SD/√2)  (symmetric exponential)
+};
+
+/// Correlation between cluster sizes and the separations that precede them.
+enum class SizeSpreadCorrelation {
+  kRandom,    ///< sizes assigned to positions in random order (paper default)
+  kPositive,  ///< largest cluster gets the largest separation
+  kNegative,  ///< largest cluster gets the smallest separation
+};
+
+/// Parameters of one synthetic data set. Defaults are the paper's reference
+/// distribution: S = 1, Z = 1, SD = 2, C = 2000, 100,000 integer points
+/// spread over [0..5000] (§7).
+struct ClusterDataConfig {
+  std::int64_t num_points = 100'000;
+  std::int64_t domain_size = 5'001;  ///< values lie in [0, domain_size)
+  std::int64_t num_clusters = 2'000;
+  double center_skew_s = 1.0;  ///< S: Zipf skew of center spreads
+  double size_skew_z = 1.0;    ///< Z: Zipf skew of cluster sizes
+  double stddev_sd = 2.0;      ///< SD: within-cluster standard deviation
+  ClusterShape shape = ClusterShape::kNormal;
+  SizeSpreadCorrelation correlation = SizeSpreadCorrelation::kRandom;
+  std::uint64_t seed = 0;
+};
+
+/// Generates the multiset of attribute values described by `config`.
+/// The result is in cluster order (all of cluster 1, then cluster 2, ...);
+/// update-stream builders impose the insertion order (§7). Deterministic in
+/// `config.seed`.
+std::vector<std::int64_t> GenerateClusterData(const ClusterDataConfig& config);
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_DATA_CLUSTER_GENERATOR_H_

@@ -1,0 +1,97 @@
+#include "src/data/frequency_vector.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+
+FrequencyVector::FrequencyVector(std::int64_t domain_size)
+    : counts_(static_cast<std::size_t>(domain_size), 0) {
+  DH_CHECK(domain_size > 0);
+}
+
+FrequencyVector::FrequencyVector(std::int64_t domain_size,
+                                 const std::vector<std::int64_t>& values)
+    : FrequencyVector(domain_size) {
+  for (const std::int64_t v : values) Insert(v);
+}
+
+void FrequencyVector::Insert(std::int64_t value) {
+  DH_CHECK(value >= 0 && value < domain_size());
+  auto& c = counts_[static_cast<std::size_t>(value)];
+  if (c == 0) ++distinct_;
+  ++c;
+  ++total_;
+  InvalidatePrefix();
+}
+
+void FrequencyVector::Delete(std::int64_t value) {
+  DH_CHECK(value >= 0 && value < domain_size());
+  auto& c = counts_[static_cast<std::size_t>(value)];
+  DH_CHECK(c > 0);
+  --c;
+  if (c == 0) --distinct_;
+  --total_;
+  InvalidatePrefix();
+}
+
+std::int64_t FrequencyVector::Count(std::int64_t value) const {
+  if (value < 0 || value >= domain_size()) return 0;
+  return counts_[static_cast<std::size_t>(value)];
+}
+
+std::int64_t FrequencyVector::MinValue() const {
+  DH_CHECK(total_ > 0);
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] > 0) return static_cast<std::int64_t>(v);
+  }
+  DH_CHECK(false);
+  return -1;
+}
+
+std::int64_t FrequencyVector::MaxValue() const {
+  DH_CHECK(total_ > 0);
+  for (std::size_t v = counts_.size(); v-- > 0;) {
+    if (counts_[v] > 0) return static_cast<std::int64_t>(v);
+  }
+  DH_CHECK(false);
+  return -1;
+}
+
+void FrequencyVector::RebuildPrefix() const {
+  prefix_.resize(counts_.size());
+  std::int64_t acc = 0;
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    acc += counts_[v];
+    prefix_[v] = acc;
+  }
+  prefix_valid_ = true;
+}
+
+std::int64_t FrequencyVector::CumulativeCount(std::int64_t v) const {
+  if (v < 0) return 0;
+  if (v >= domain_size()) return total_;
+  if (!prefix_valid_) RebuildPrefix();
+  return prefix_[static_cast<std::size_t>(v)];
+}
+
+std::int64_t FrequencyVector::RangeCount(std::int64_t lo,
+                                         std::int64_t hi) const {
+  if (hi < lo) return 0;
+  return CumulativeCount(hi) - CumulativeCount(lo - 1);
+}
+
+std::vector<ValueFreq> FrequencyVector::NonZeroEntries() const {
+  std::vector<ValueFreq> entries;
+  entries.reserve(static_cast<std::size_t>(distinct_));
+  for (std::size_t v = 0; v < counts_.size(); ++v) {
+    if (counts_[v] > 0) {
+      entries.push_back({static_cast<std::int64_t>(v),
+                         static_cast<double>(counts_[v])});
+    }
+  }
+  return entries;
+}
+
+}  // namespace dynhist

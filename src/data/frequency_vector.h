@@ -1,0 +1,93 @@
+// Exact evolving data distribution over an integer attribute domain.
+//
+// The paper evaluates histograms against "the original data distribution"
+// (§6.2): a multiset of integer attribute values in [0 .. domain_max]
+// (100,000 integers over [0..5000] in the reference setup, §7). The
+// FrequencyVector is that ground truth — it absorbs the same insert/delete
+// stream the histograms see and exposes the exact step CDF the KS metric
+// compares against.
+
+#ifndef DYNHIST_DATA_FREQUENCY_VECTOR_H_
+#define DYNHIST_DATA_FREQUENCY_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dynhist {
+
+/// A (value, frequency) pair of one distinct attribute value. Frequencies
+/// are doubles so that derived distributions (e.g. a rasterized composite
+/// histogram in the distributed pipeline, §8) can carry fractional expected
+/// counts through the same static-construction code paths.
+struct ValueFreq {
+  std::int64_t value = 0;
+  double freq = 0.0;
+
+  friend bool operator==(const ValueFreq&, const ValueFreq&) = default;
+};
+
+/// Exact frequency counts over the integer domain [0, domain_size).
+class FrequencyVector {
+ public:
+  /// Creates an empty distribution over [0, domain_size).
+  explicit FrequencyVector(std::int64_t domain_size);
+
+  /// Builds a distribution by inserting every element of `values`.
+  FrequencyVector(std::int64_t domain_size,
+                  const std::vector<std::int64_t>& values);
+
+  /// Adds one copy of `value`. Requires 0 <= value < domain_size().
+  void Insert(std::int64_t value);
+
+  /// Removes one copy of `value`. Requires Count(value) > 0.
+  void Delete(std::int64_t value);
+
+  /// Number of live copies of `value`.
+  std::int64_t Count(std::int64_t value) const;
+
+  /// Total number of live data points (N in the paper).
+  std::int64_t TotalCount() const { return total_; }
+
+  /// Number of distinct values with nonzero frequency.
+  std::int64_t DistinctCount() const { return distinct_; }
+
+  /// Domain size; valid values are [0, domain_size()).
+  std::int64_t domain_size() const {
+    return static_cast<std::int64_t>(counts_.size());
+  }
+
+  /// Smallest / largest value with nonzero frequency. Require TotalCount()>0.
+  std::int64_t MinValue() const;
+  std::int64_t MaxValue() const;
+
+  /// Exact cumulative count of points with value <= v (the step CDF used by
+  /// the KS statistic, scaled by TotalCount()). v may be any integer;
+  /// values below 0 give 0, values above the domain give TotalCount().
+  std::int64_t CumulativeCount(std::int64_t v) const;
+
+  /// Exact number of points with value in [lo, hi] inclusive.
+  std::int64_t RangeCount(std::int64_t lo, std::int64_t hi) const;
+
+  /// All distinct values with nonzero frequency, ascending.
+  std::vector<ValueFreq> NonZeroEntries() const;
+
+  /// Direct read access to the counts array (index = value).
+  const std::vector<std::int64_t>& counts() const { return counts_; }
+
+ private:
+  void InvalidatePrefix() const { prefix_valid_ = false; }
+  void RebuildPrefix() const;
+
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  std::int64_t distinct_ = 0;
+
+  // Lazily rebuilt prefix sums make repeated CDF probes (the KS sweep
+  // evaluates every distinct value) O(1) after an O(domain) rebuild.
+  mutable std::vector<std::int64_t> prefix_;
+  mutable bool prefix_valid_ = false;
+};
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_DATA_FREQUENCY_VECTOR_H_

@@ -1,0 +1,60 @@
+#include "src/data/mailorder_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+
+namespace dynhist {
+
+namespace {
+
+// Catalog-style price points: multiples of 5 dollars plus the x9 / x9.95-
+// style amounts that dominate retail pricing (rounded to integer dollars).
+std::vector<std::int64_t> SpikePositions() {
+  std::vector<std::int64_t> spikes;
+  for (std::int64_t v = 5; v <= 500; v += 5) spikes.push_back(v);
+  for (std::int64_t v = 9; v <= 199; v += 10) spikes.push_back(v);
+  std::sort(spikes.begin(), spikes.end());
+  spikes.erase(std::unique(spikes.begin(), spikes.end()), spikes.end());
+  return spikes;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> MakeMailOrderData(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> records;
+  records.reserve(static_cast<std::size_t>(kMailOrderRecordCount));
+
+  // 55% of the mass sits in point spikes. Spike popularity is Zipfian, and
+  // popularity rank is tied to (low) price so cheap catalog items dominate,
+  // matching the left-heavy, spiky density plotted in Fig. 19.
+  const std::vector<std::int64_t> spikes = SpikePositions();
+  const auto spike_total =
+      static_cast<std::int64_t>(0.55 * kMailOrderRecordCount);
+  const std::vector<std::int64_t> spike_counts =
+      ZipfShares(spike_total, spikes.size(), 1.0);
+  for (std::size_t i = 0; i < spikes.size(); ++i) {
+    for (std::int64_t k = 0; k < spike_counts[i]; ++k) {
+      records.push_back(spikes[i]);
+    }
+  }
+
+  // The remaining mass is a smooth body: dollar amounts are roughly
+  // log-normal (most orders cheap, a long right tail), clamped to [1, 500].
+  while (static_cast<std::int64_t>(records.size()) < kMailOrderRecordCount) {
+    const double amount = std::exp(rng.Normal(std::log(35.0), 0.85));
+    const auto v = static_cast<std::int64_t>(std::llround(amount));
+    records.push_back(std::clamp<std::int64_t>(v, 1, 500));
+  }
+
+  // Orders arrive in approximately random order (§7.4).
+  std::shuffle(records.begin(), records.end(), rng);
+  DH_CHECK(static_cast<std::int64_t>(records.size()) == kMailOrderRecordCount);
+  return records;
+}
+
+}  // namespace dynhist

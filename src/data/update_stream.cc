@@ -1,0 +1,101 @@
+#include "src/data/update_stream.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+
+namespace {
+
+// Picks and removes a uniformly random element of `live` in O(1) by swapping
+// with the back (tuple identity does not matter, only the value multiset).
+std::int64_t TakeRandomLive(std::vector<std::int64_t>& live, Rng& rng) {
+  DH_DCHECK(!live.empty());
+  const std::size_t i =
+      static_cast<std::size_t>(rng.UniformInt(live.size()));
+  const std::int64_t v = live[i];
+  live[i] = live.back();
+  live.pop_back();
+  return v;
+}
+
+std::int64_t DeleteCountFor(double fraction, std::size_t n) {
+  DH_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  return static_cast<std::int64_t>(fraction * static_cast<double>(n));
+}
+
+}  // namespace
+
+UpdateStream MakeRandomInsertStream(std::vector<std::int64_t> values,
+                                    Rng& rng) {
+  std::shuffle(values.begin(), values.end(), rng);
+  UpdateStream stream;
+  stream.reserve(values.size());
+  for (const std::int64_t v : values) stream.push_back(UpdateOp::Insert(v));
+  return stream;
+}
+
+UpdateStream MakeSortedInsertStream(std::vector<std::int64_t> values) {
+  std::sort(values.begin(), values.end());
+  UpdateStream stream;
+  stream.reserve(values.size());
+  for (const std::int64_t v : values) stream.push_back(UpdateOp::Insert(v));
+  return stream;
+}
+
+UpdateStream MakeMixedStream(std::vector<std::int64_t> values,
+                             double delete_prob, Rng& rng) {
+  DH_CHECK(delete_prob >= 0.0 && delete_prob <= 1.0);
+  std::shuffle(values.begin(), values.end(), rng);
+  UpdateStream stream;
+  stream.reserve(values.size() * 2);
+  std::vector<std::int64_t> live;
+  live.reserve(values.size());
+  for (const std::int64_t v : values) {
+    stream.push_back(UpdateOp::Insert(v));
+    live.push_back(v);
+    if (!live.empty() && rng.Bernoulli(delete_prob)) {
+      stream.push_back(UpdateOp::Delete(TakeRandomLive(live, rng)));
+    }
+  }
+  return stream;
+}
+
+UpdateStream MakeInsertsThenRandomDeletes(std::vector<std::int64_t> values,
+                                          double delete_fraction, Rng& rng) {
+  const std::int64_t deletes = DeleteCountFor(delete_fraction, values.size());
+  UpdateStream stream = MakeRandomInsertStream(values, rng);
+  std::vector<std::int64_t> live;
+  live.reserve(stream.size());
+  for (const UpdateOp& op : stream) live.push_back(op.value);
+  for (std::int64_t i = 0; i < deletes; ++i) {
+    stream.push_back(UpdateOp::Delete(TakeRandomLive(live, rng)));
+  }
+  return stream;
+}
+
+UpdateStream MakeSortedInsertsThenRandomDeletes(
+    std::vector<std::int64_t> values, double delete_fraction, Rng& rng) {
+  const std::int64_t deletes = DeleteCountFor(delete_fraction, values.size());
+  std::vector<std::int64_t> live = values;
+  UpdateStream stream = MakeSortedInsertStream(std::move(values));
+  for (std::int64_t i = 0; i < deletes; ++i) {
+    stream.push_back(UpdateOp::Delete(TakeRandomLive(live, rng)));
+  }
+  return stream;
+}
+
+UpdateStream MakeSortedInsertsThenSortedDeletes(
+    std::vector<std::int64_t> values, double delete_fraction) {
+  const std::int64_t deletes = DeleteCountFor(delete_fraction, values.size());
+  UpdateStream stream = MakeSortedInsertStream(std::move(values));
+  const std::size_t n = stream.size();
+  for (std::int64_t i = 0; i < deletes; ++i) {
+    stream.push_back(
+        UpdateOp::Delete(stream[static_cast<std::size_t>(i) % n].value));
+  }
+  return stream;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,65 @@
+// Update-stream builders: the insert/delete workloads of §7.
+//
+// The paper evaluates every algorithm under five update patterns:
+//   (a) random insertions,
+//   (b) sorted insertions,
+//   (c) random insertions intermixed with random deletions,
+//   (d) random insertions followed by random deletions,
+//   (e) sorted insertions followed by sorted deletions.
+// An UpdateStream is the materialized operation sequence; drivers replay it
+// against a histogram and the ground-truth FrequencyVector in lock step.
+
+#ifndef DYNHIST_DATA_UPDATE_STREAM_H_
+#define DYNHIST_DATA_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace dynhist {
+
+/// One histogram maintenance operation.
+struct UpdateOp {
+  enum class Kind : std::uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  std::int64_t value = 0;
+
+  static UpdateOp Insert(std::int64_t v) { return {Kind::kInsert, v}; }
+  static UpdateOp Delete(std::int64_t v) { return {Kind::kDelete, v}; }
+
+  friend bool operator==(const UpdateOp&, const UpdateOp&) = default;
+};
+
+using UpdateStream = std::vector<UpdateOp>;
+
+/// (a) Inserts `values` in uniformly random order.
+UpdateStream MakeRandomInsertStream(std::vector<std::int64_t> values,
+                                    Rng& rng);
+
+/// (b) Inserts `values` in ascending value order.
+UpdateStream MakeSortedInsertStream(std::vector<std::int64_t> values);
+
+/// (c) Random-order inserts; after each insert, with probability
+/// `delete_prob` one uniformly random live tuple is deleted (§7.3.1 uses a
+/// 25% deletion rate).
+UpdateStream MakeMixedStream(std::vector<std::int64_t> values,
+                             double delete_prob, Rng& rng);
+
+/// (d) Random-order inserts of all values, then deletion of
+/// `delete_fraction` of the tuples, chosen uniformly at random (Fig. 17).
+UpdateStream MakeInsertsThenRandomDeletes(std::vector<std::int64_t> values,
+                                          double delete_fraction, Rng& rng);
+
+/// Fig. 18 variant: sorted inserts, then random deletes.
+UpdateStream MakeSortedInsertsThenRandomDeletes(
+    std::vector<std::int64_t> values, double delete_fraction, Rng& rng);
+
+/// (e) Sorted inserts, then deletion of `delete_fraction` of the tuples in
+/// the same sorted order.
+UpdateStream MakeSortedInsertsThenSortedDeletes(
+    std::vector<std::int64_t> values, double delete_fraction);
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_DATA_UPDATE_STREAM_H_

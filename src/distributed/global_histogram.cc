@@ -1,0 +1,78 @@
+#include "src/distributed/global_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/histogram/budget.h"
+#include "src/histogram/ssbm.h"
+
+namespace dynhist::distributed {
+
+HistogramModel Superimpose(const std::vector<HistogramModel>& models) {
+  // Union of all borders defines the elementary ranges.
+  std::vector<double> borders;
+  for (const HistogramModel& m : models) {
+    for (const HistogramModel::Piece& p : m.pieces()) {
+      borders.push_back(p.left);
+      borders.push_back(p.right);
+    }
+  }
+  std::sort(borders.begin(), borders.end());
+  borders.erase(std::unique(borders.begin(), borders.end()), borders.end());
+  if (borders.size() < 2) return HistogramModel();
+
+  std::vector<HistogramModel::Piece> pieces;
+  pieces.reserve(borders.size() - 1);
+  for (std::size_t i = 0; i + 1 < borders.size(); ++i) {
+    const double lo = borders[i];
+    const double hi = borders[i + 1];
+    double mass = 0.0;
+    for (const HistogramModel& m : models) {
+      mass += m.MassInRealRange(lo, hi);
+    }
+    if (mass > 0.0) pieces.push_back({lo, hi, mass});
+  }
+  return HistogramModel::FromSimpleBuckets(std::move(pieces));
+}
+
+HistogramModel ReduceWithSsbm(const HistogramModel& model,
+                              std::int64_t buckets) {
+  if (model.Empty()) return HistogramModel();
+  // Read the composite back as expected counts per integer cell [v, v+1).
+  const auto first = static_cast<std::int64_t>(std::floor(model.MinBorder()));
+  const auto last = static_cast<std::int64_t>(std::ceil(model.MaxBorder()));
+  std::vector<ValueFreq> entries;
+  for (std::int64_t v = first; v < last; ++v) {
+    const double mass = model.MassInRealRange(static_cast<double>(v),
+                                              static_cast<double>(v) + 1.0);
+    if (mass > 1e-12) entries.push_back({v, mass});
+  }
+  return BuildSsbm(entries, buckets);
+}
+
+HistogramModel BuildGlobalHistogram(const std::vector<Site>& sites,
+                                    GlobalStrategy strategy,
+                                    double memory_bytes) {
+  DH_CHECK(!sites.empty());
+  const std::int64_t buckets =
+      BucketBudget(memory_bytes, BucketLayout::kBorderCount);
+  switch (strategy) {
+    case GlobalStrategy::kHistogramThenUnion: {
+      std::vector<HistogramModel> locals;
+      locals.reserve(sites.size());
+      for (const Site& site : sites) {
+        locals.push_back(site.BuildLocalHistogram(memory_bytes));
+      }
+      return ReduceWithSsbm(Superimpose(locals), buckets);
+    }
+    case GlobalStrategy::kUnionThenHistogram: {
+      const FrequencyVector all = UnionData(sites);
+      return BuildSsbm(all, buckets);
+    }
+  }
+  DH_CHECK(false);
+  return HistogramModel();
+}
+
+}  // namespace dynhist::distributed

@@ -1,0 +1,69 @@
+#include "src/distributed/site.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/histogram/budget.h"
+#include "src/histogram/ssbm.h"
+
+namespace dynhist::distributed {
+
+HistogramModel Site::BuildLocalHistogram(double memory_bytes) const {
+  const std::int64_t buckets =
+      BucketBudget(memory_bytes, BucketLayout::kBorderCount);
+  return BuildSsbm(data_, buckets);
+}
+
+std::vector<Site> GenerateUnionWorkload(const UnionWorkloadConfig& config) {
+  DH_CHECK(config.num_sites >= 1);
+  DH_CHECK(config.domain_size >= 2);
+  Rng rng(config.seed);
+
+  const std::vector<std::int64_t> site_sizes =
+      ZipfShares(config.total_points, config.num_sites, config.zipf_site);
+
+  std::vector<Site> sites;
+  sites.reserve(config.num_sites);
+  for (std::size_t s = 0; s < config.num_sites; ++s) {
+    // "The attribute range of each union member is uniformly and randomly
+    // distributed": draw two uniform endpoints.
+    std::int64_t lo = rng.UniformInt(0, config.domain_size - 1);
+    std::int64_t hi = rng.UniformInt(0, config.domain_size - 1);
+    if (lo > hi) std::swap(lo, hi);
+    const auto width = static_cast<std::size_t>(hi - lo + 1);
+
+    // Zipf(Z_Freq) frequencies over the range's values, with frequency
+    // ranks assigned to values in random order.
+    std::vector<std::int64_t> counts =
+        ZipfShares(site_sizes[s], width, config.zipf_freq);
+    std::shuffle(counts.begin(), counts.end(), rng);
+
+    FrequencyVector data(config.domain_size);
+    for (std::size_t i = 0; i < width; ++i) {
+      for (std::int64_t c = 0; c < counts[i]; ++c) {
+        data.Insert(lo + static_cast<std::int64_t>(i));
+      }
+    }
+    sites.emplace_back(std::move(data));
+  }
+  return sites;
+}
+
+FrequencyVector UnionData(const std::vector<Site>& sites) {
+  DH_CHECK(!sites.empty());
+  FrequencyVector all(sites.front().data().domain_size());
+  for (const Site& site : sites) {
+    DH_CHECK(site.data().domain_size() == all.domain_size());
+    const auto& counts = site.data().counts();
+    for (std::size_t v = 0; v < counts.size(); ++v) {
+      for (std::int64_t c = 0; c < counts[v]; ++c) {
+        all.Insert(static_cast<std::int64_t>(v));
+      }
+    }
+  }
+  return all;
+}
+
+}  // namespace dynhist::distributed

@@ -1,0 +1,55 @@
+// Shared-nothing union members ("sites") and their workloads (§8).
+//
+// In a shared-nothing parallel database or a federation of web sources,
+// one logical relation is the union of per-site fragments. Each site keeps
+// its own local histogram; a global histogram over the union must be built
+// from limited information. The paper's experimental setup: each member's
+// data is Zipf(Z_Freq)-distributed within a uniformly random attribute
+// subrange, member sizes follow Zipf(Z_Site), and every histogram (local
+// and global) gets the same memory budget M (250 bytes by default).
+
+#ifndef DYNHIST_DISTRIBUTED_SITE_H_
+#define DYNHIST_DISTRIBUTED_SITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/histogram/model.h"
+
+namespace dynhist::distributed {
+
+/// One union member holding a data fragment.
+class Site {
+ public:
+  explicit Site(FrequencyVector data) : data_(std::move(data)) {}
+
+  const FrequencyVector& data() const { return data_; }
+
+  /// Builds this site's local histogram (SSBM(V,F), §8) within
+  /// `memory_bytes` of histogram memory.
+  HistogramModel BuildLocalHistogram(double memory_bytes) const;
+
+ private:
+  FrequencyVector data_;
+};
+
+/// Parameters of the §8 union workload.
+struct UnionWorkloadConfig {
+  std::int64_t domain_size = 5'001;
+  std::int64_t total_points = 100'000;
+  std::size_t num_sites = 5;
+  double zipf_freq = 1.0;  ///< Z_Freq: value-frequency skew within a member
+  double zipf_site = 0.0;  ///< Z_Site: skew of member sizes
+  std::uint64_t seed = 0;
+};
+
+/// Generates the per-site fragments described by `config`.
+std::vector<Site> GenerateUnionWorkload(const UnionWorkloadConfig& config);
+
+/// Exact union of the members' data (the evaluation ground truth).
+FrequencyVector UnionData(const std::vector<Site>& sites);
+
+}  // namespace dynhist::distributed
+
+#endif  // DYNHIST_DISTRIBUTED_SITE_H_

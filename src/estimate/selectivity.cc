@@ -1,0 +1,4 @@
+// SelectivityEstimator is header-only; this translation unit exists so the
+// module owns a .cc for future non-inline additions and keeps the build
+// graph uniform.
+#include "src/estimate/selectivity.h"

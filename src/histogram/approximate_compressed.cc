@@ -1,0 +1,182 @@
+#include "src/histogram/approximate_compressed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/histogram/budget.h"
+#include "src/histogram/static_compressed.h"
+
+namespace dynhist {
+
+ApproximateCompressedConfig MakeApproximateCompressedConfig(
+    double memory_bytes, double disk_factor, std::uint64_t seed) {
+  ApproximateCompressedConfig config;
+  config.buckets = BucketBudget(memory_bytes, BucketLayout::kBorderCount);
+  config.sample_capacity = static_cast<std::size_t>(std::max(
+      1.0, disk_factor * memory_bytes / static_cast<double>(kBytesPerWord)));
+  config.gamma = -1.0;
+  config.seed = seed;
+  return config;
+}
+
+ApproximateCompressedHistogram::ApproximateCompressedHistogram(
+    const ApproximateCompressedConfig& config)
+    : config_(config), sample_(config.sample_capacity, config.seed) {
+  DH_CHECK(config.buckets >= 2);
+  DH_CHECK(config.gamma >= -1.0);
+}
+
+std::size_t ApproximateCompressedHistogram::FindBucket(
+    std::int64_t value) const {
+  DH_DCHECK(!buckets_.empty());
+  const double x = static_cast<double>(value);
+  const auto it = std::upper_bound(
+      buckets_.begin(), buckets_.end(), x,
+      [](double v, const Bucket& b) { return v < b.left; });
+  if (it == buckets_.begin()) return 0;
+  return static_cast<std::size_t>(it - buckets_.begin()) - 1;
+}
+
+double ApproximateCompressedHistogram::Threshold() const {
+  return (2.0 + config_.gamma) * total_ /
+         static_cast<double>(config_.buckets);
+}
+
+void ApproximateCompressedHistogram::RecomputeFromSample() {
+  ++recomputes_;
+  buckets_.clear();
+  if (sample_.Size() == 0 || total_ <= 0.0) return;
+  // Build an exact Compressed histogram *of the sample* and scale its
+  // counts to the relation size.
+  const HistogramModel model =
+      BuildCompressed(sample_.Entries(), config_.buckets);
+  const double scale = total_ / static_cast<double>(sample_.Size());
+  buckets_.reserve(model.NumBuckets());
+  for (std::size_t b = 0; b < model.NumBuckets(); ++b) {
+    const auto pieces = model.BucketPieces(b);
+    DH_CHECK(pieces.size() == 1);
+    buckets_.push_back({pieces[0].left, pieces[0].right,
+                        pieces[0].count * scale,
+                        model.buckets()[b].singular});
+  }
+}
+
+bool ApproximateCompressedHistogram::TrySplitMerge(std::size_t overflow) {
+  Bucket& over = buckets_[overflow];
+  if (over.singular || over.right - over.left < 2.0) return false;
+
+  // Approximate median of the overflowing bucket from the backing sample.
+  const auto& values = sample_.SortedValues();
+  const auto lo = std::lower_bound(values.begin(), values.end(),
+                                   static_cast<std::int64_t>(over.left));
+  const auto hi = std::lower_bound(values.begin(), values.end(),
+                                   static_cast<std::int64_t>(over.right));
+  if (hi - lo < 2) return false;
+  const std::int64_t median = *(lo + (hi - lo) / 2);
+  const auto split_at = static_cast<double>(median);
+  if (split_at <= over.left || split_at >= over.right) return false;
+
+  // The merge that pays for the split: cheapest adjacent pair under the
+  // threshold, not involving the overflowing bucket.
+  const double threshold = Threshold();
+  std::size_t best = buckets_.size();
+  double best_count = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    if (i == overflow || i + 1 == overflow) continue;
+    if (buckets_[i].singular || buckets_[i + 1].singular) continue;
+    const double combined = buckets_[i].count + buckets_[i + 1].count;
+    if (combined <= threshold && combined < best_count) {
+      best_count = combined;
+      best = i;
+    }
+  }
+  if (best == buckets_.size()) return false;
+
+  ++split_merges_;
+  // Merge first, then split (indices shift down when the pair precedes the
+  // overflowing bucket).
+  buckets_[best].count += buckets_[best + 1].count;
+  buckets_[best].right = buckets_[best + 1].right;
+  buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  std::size_t target = overflow > best ? overflow - 1 : overflow;
+
+  Bucket& b = buckets_[target];
+  Bucket right_half = b;
+  right_half.left = split_at;
+  right_half.count = b.count / 2.0;
+  b.right = split_at;
+  b.count -= right_half.count;
+  buckets_.insert(buckets_.begin() + static_cast<std::ptrdiff_t>(target) + 1,
+                  right_half);
+  return true;
+}
+
+void ApproximateCompressedHistogram::Insert(std::int64_t value) {
+  total_ += 1.0;
+  const bool sample_changed = sample_.Insert(value);
+  if (buckets_.empty()) {
+    RecomputeFromSample();
+    return;
+  }
+  // Track the insert in the in-memory histogram.
+  const double x = static_cast<double>(value);
+  std::size_t index;
+  if (x < buckets_.front().left) {
+    buckets_.front().left = x;
+    buckets_.front().singular = false;
+    index = 0;
+  } else if (x + 1.0 > buckets_.back().right) {
+    buckets_.back().right = x + 1.0;
+    buckets_.back().singular = false;
+    index = buckets_.size() - 1;
+  } else {
+    index = FindBucket(value);
+  }
+  buckets_[index].count += 1.0;
+
+  if (config_.gamma <= -1.0) {
+    // Paper setting: "recomputed at any modification of the reservoir
+    // sample" (§7.2).
+    if (sample_changed) RecomputeFromSample();
+    return;
+  }
+  if (buckets_[index].count > Threshold() && !TrySplitMerge(index)) {
+    RecomputeFromSample();
+  }
+}
+
+void ApproximateCompressedHistogram::Delete(std::int64_t value,
+                                            std::int64_t live_copies_before) {
+  total_ -= 1.0;
+  const bool sample_changed = sample_.Delete(value, live_copies_before);
+  if (buckets_.empty()) return;
+  const std::size_t index = FindBucket(value);
+  buckets_[index].count = std::max(0.0, buckets_[index].count - 1.0);
+  if (config_.gamma <= -1.0) {
+    if (sample_changed) RecomputeFromSample();
+    return;
+  }
+  // Lazy path: a bucket starved far below the equi-depth share triggers a
+  // recompute (the full merge/split machinery of [10] applies on inserts).
+  const double lower = total_ / ((2.0 + config_.gamma) *
+                                 static_cast<double>(config_.buckets));
+  if (buckets_[index].count < lower) RecomputeFromSample();
+}
+
+HistogramModel ApproximateCompressedHistogram::Model() const {
+  std::vector<HistogramModel::Piece> pieces;
+  std::vector<HistogramModel::BucketRef> refs;
+  pieces.reserve(buckets_.size());
+  refs.reserve(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    if (b.right <= b.left) continue;
+    refs.push_back(
+        {static_cast<std::uint32_t>(pieces.size()), 1, b.singular});
+    pieces.push_back({b.left, b.right, b.count});
+  }
+  return HistogramModel(std::move(pieces), std::move(refs));
+}
+
+}  // namespace dynhist

@@ -1,0 +1,40 @@
+#include "src/histogram/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+
+std::int64_t BucketBudget(double memory_bytes, BucketLayout layout) {
+  DH_CHECK(memory_bytes > 0.0);
+  const double words = memory_bytes / static_cast<double>(kBytesPerWord);
+  double buckets = 0.0;
+  switch (layout) {
+    case BucketLayout::kBorderCount:
+      // (n+1) + n words  =>  n = (words - 1) / 2
+      buckets = (words - 1.0) / 2.0;
+      break;
+    case BucketLayout::kBorderTwoCounts:
+      // (n+1) + 2n words  =>  n = (words - 1) / 3
+      buckets = (words - 1.0) / 3.0;
+      break;
+  }
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(buckets));
+}
+
+double MemoryBytesFor(std::int64_t buckets, BucketLayout layout) {
+  DH_CHECK(buckets >= 1);
+  const auto n = static_cast<double>(buckets);
+  switch (layout) {
+    case BucketLayout::kBorderCount:
+      return (2.0 * n + 1.0) * kBytesPerWord;
+    case BucketLayout::kBorderTwoCounts:
+      return (3.0 * n + 1.0) * kBytesPerWord;
+  }
+  DH_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,40 @@
+// Memory accounting shared by all histogram kinds (§3.1, §4.4).
+//
+// The paper compares algorithms "given the same amount of main memory" and
+// states the space formulas explicitly:
+//   DC / Compressed / Equi-Depth:  (n+1) * size(border) + n * size(counter)
+//   DVO / DADO:                    (n+1) * size(border) + 2n * size(counter)
+// with 4-byte borders and counters (1 KB of memory therefore holds 127
+// border+count buckets but only 85 two-counter buckets). This module turns
+// a byte budget into a bucket count so every experiment charges memory the
+// same way the paper does.
+
+#ifndef DYNHIST_HISTOGRAM_BUDGET_H_
+#define DYNHIST_HISTOGRAM_BUDGET_H_
+
+#include <cstdint>
+
+namespace dynhist {
+
+/// Size of one histogram field (border or counter) in bytes.
+inline constexpr std::int64_t kBytesPerWord = 4;
+
+/// Storage layout of one histogram bucket.
+enum class BucketLayout {
+  /// Left border + one point counter (DC, SC, Equi-Depth, SSBM, AC, ...).
+  kBorderCount,
+  /// Left border + two sub-bucket counters (DVO / DADO, §4).
+  kBorderTwoCounts,
+};
+
+/// Number of buckets a histogram with the given layout can hold in
+/// `memory_bytes` bytes (at least 1). Inverts the space formulas above.
+std::int64_t BucketBudget(double memory_bytes, BucketLayout layout);
+
+/// Bytes consumed by `buckets` buckets of the given layout (the paper's
+/// space formulas, forward direction).
+double MemoryBytesFor(std::int64_t buckets, BucketLayout layout);
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM_BUDGET_H_

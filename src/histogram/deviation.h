@@ -1,0 +1,24 @@
+// The deviation measure that defines a histogram's partition constraint.
+//
+// V-Optimal histograms minimize the summed *squared* deviation of
+// frequencies from their bucket average (Eq. 3); the paper's new
+// Average-Deviation-Optimal histograms minimize the summed *absolute*
+// deviation instead (Eq. 5, §4.1), which is more robust to the frequency
+// outliers that random insertion order produces. Every (V,F)-style
+// algorithm in dynhist — static DP, SSBM merging, and the DVO/DADO dynamic
+// histogram — is parameterized by this choice.
+
+#ifndef DYNHIST_HISTOGRAM_DEVIATION_H_
+#define DYNHIST_HISTOGRAM_DEVIATION_H_
+
+namespace dynhist {
+
+/// How frequency deviations from the bucket average are aggregated.
+enum class DeviationPolicy {
+  kSquared,   ///< sum of (f - avg)^2  — V-Optimal (Eq. 3)
+  kAbsolute,  ///< sum of |f - avg|    — Average-Deviation Optimal (Eq. 5)
+};
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM_DEVIATION_H_

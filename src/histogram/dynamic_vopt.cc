@@ -1,0 +1,446 @@
+#include "src/histogram/dynamic_vopt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Dev(DeviationPolicy policy, double width, double density,
+           double avg) {
+  const double d = density - avg;
+  return policy == DeviationPolicy::kSquared ? width * d * d
+                                             : width * std::fabs(d);
+}
+
+}  // namespace
+
+DynamicVOptHistogram::DynamicVOptHistogram(const DynamicVOptConfig& config)
+    : config_(config) {
+  DH_CHECK(config.buckets >= 2);
+  DH_CHECK(config.sub_buckets >= 2 && config.sub_buckets <= kMaxSubBuckets);
+}
+
+int DynamicVOptHistogram::SubIndexFor(const VBucket& b,
+                                      std::int64_t value) const {
+  // The integer value occupies the cell [value, value+1); its center decides
+  // the sub-bucket.
+  const double center = static_cast<double>(value) + 0.5;
+  const int k = config_.sub_buckets;
+  const double w = b.Width();
+  DH_DCHECK(w > 0.0);
+  int h = static_cast<int>((center - b.left) / w * static_cast<double>(k));
+  return std::clamp(h, 0, k - 1);
+}
+
+int DynamicVOptHistogram::FragmentsOf(const VBucket& b, Fragment* out) const {
+  const int k = config_.sub_buckets;
+  const double w = b.Width();
+  if (w <= 1.0) {
+    out[0] = {b.left, b.right, b.Total(k)};
+    return 1;
+  }
+  const double step = w / static_cast<double>(k);
+  for (int h = 0; h < k; ++h) {
+    out[h] = {b.left + step * static_cast<double>(h),
+              b.left + step * static_cast<double>(h + 1),
+              b.sub[static_cast<std::size_t>(h)]};
+  }
+  out[k - 1].right = b.right;  // avoid rounding drift at the far edge
+  return k;
+}
+
+double DynamicVOptHistogram::RhoOf(const VBucket& b) const {
+  Fragment frags[kMaxSubBuckets];
+  const int n = FragmentsOf(b, frags);
+  if (n <= 1) return 0.0;
+  const double w = b.Width();
+  const double avg = b.Total(config_.sub_buckets) / w;
+  double rho = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double fw = frags[i].right - frags[i].left;
+    rho += Dev(config_.policy, fw, frags[i].count / fw, avg);
+  }
+  return rho;
+}
+
+double DynamicVOptHistogram::MergedRho(const VBucket& a,
+                                       const VBucket& b) const {
+  Fragment frags[2 * kMaxSubBuckets];
+  const int na = FragmentsOf(a, frags);
+  const int nb = FragmentsOf(b, frags + na);
+  const int n = na + nb;
+  const double w = b.right - a.left;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += frags[i].count;
+  const double avg = total / w;
+  double rho = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double fw = frags[i].right - frags[i].left;
+    rho += Dev(config_.policy, fw, frags[i].count / fw, avg);
+  }
+  return rho;
+}
+
+void DynamicVOptHistogram::FillUniform(VBucket* b, double total) const {
+  const int k = config_.sub_buckets;
+  for (int h = 0; h < k; ++h) {
+    b->sub[static_cast<std::size_t>(h)] = total / static_cast<double>(k);
+  }
+  for (int h = k; h < kMaxSubBuckets; ++h) {
+    b->sub[static_cast<std::size_t>(h)] = 0.0;
+  }
+}
+
+void DynamicVOptHistogram::ReBin(const Fragment* fragments, int n,
+                                 VBucket* b) const {
+  const int k = config_.sub_buckets;
+  const double w = b->Width();
+  const double step = w / static_cast<double>(k);
+  for (int h = 0; h < kMaxSubBuckets; ++h) {
+    b->sub[static_cast<std::size_t>(h)] = 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    const Fragment& f = fragments[i];
+    const double fw = f.right - f.left;
+    if (fw <= 0.0 || f.count == 0.0) continue;
+    for (int h = 0; h < k; ++h) {
+      const double lo =
+          std::max(f.left, b->left + step * static_cast<double>(h));
+      const double hi = std::min(
+          f.right, h + 1 == k ? b->right
+                              : b->left + step * static_cast<double>(h + 1));
+      if (hi > lo) {
+        b->sub[static_cast<std::size_t>(h)] += f.count * (hi - lo) / fw;
+      }
+    }
+  }
+}
+
+void DynamicVOptHistogram::FinishLoadingIfReady() {
+  if (static_cast<std::int64_t>(loading_counts_.size()) < config_.buckets) {
+    return;
+  }
+  buckets_.clear();
+  buckets_.reserve(loading_counts_.size());
+  // "Read first n points and create buckets between them."
+  for (const auto& [value, count] : loading_counts_) {
+    VBucket b;
+    b.left = static_cast<double>(value);
+    buckets_.push_back(b);
+  }
+  for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    buckets_[i].right = buckets_[i + 1].left;
+  }
+  buckets_.back().right = buckets_.back().left + 1.0;
+  std::size_t i = 0;
+  for (const auto& [value, count] : loading_counts_) {
+    VBucket& b = buckets_[i++];
+    const int h = SubIndexFor(b, value);
+    b.sub[static_cast<std::size_t>(h)] += count;
+  }
+  loading_counts_.clear();
+  loading_ = false;
+  RebuildAllCaches();
+}
+
+std::size_t DynamicVOptHistogram::FindBucketIndex(double x) const {
+  DH_DCHECK(!buckets_.empty());
+  const auto it = std::upper_bound(
+      buckets_.begin(), buckets_.end(), x,
+      [](double v, const VBucket& b) { return v < b.left; });
+  if (it == buckets_.begin()) return 0;
+  return static_cast<std::size_t>(it - buckets_.begin()) - 1;
+}
+
+void DynamicVOptHistogram::RebuildAllCaches() {
+  rho_.resize(buckets_.size());
+  pair_rho_.assign(buckets_.size() > 0 ? buckets_.size() - 1 : 0, kInf);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) rho_[i] = RhoOf(buckets_[i]);
+  for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    pair_rho_[i] = MergedRho(buckets_[i], buckets_[i + 1]);
+  }
+}
+
+void DynamicVOptHistogram::RefreshCachesAround(std::size_t index) {
+  rho_[index] = RhoOf(buckets_[index]);
+  if (index > 0) {
+    pair_rho_[index - 1] = MergedRho(buckets_[index - 1], buckets_[index]);
+  }
+  if (index + 1 < buckets_.size()) {
+    pair_rho_[index] = MergedRho(buckets_[index], buckets_[index + 1]);
+  }
+}
+
+void DynamicVOptHistogram::MergePair(std::size_t m) {
+  DH_DCHECK(m + 1 < buckets_.size());
+  VBucket& a = buckets_[m];
+  const VBucket& b = buckets_[m + 1];
+  Fragment frags[2 * kMaxSubBuckets];
+  const int na = FragmentsOf(a, frags);
+  const int nb = FragmentsOf(b, frags + na);
+  VBucket merged;
+  merged.left = a.left;
+  merged.right = b.right;
+  ReBin(frags, na + nb, &merged);
+  a = merged;
+  buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(m) + 1);
+  rho_.erase(rho_.begin() + static_cast<std::ptrdiff_t>(m) + 1);
+  pair_rho_.erase(pair_rho_.begin() + static_cast<std::ptrdiff_t>(m));
+  RefreshCachesAround(m);
+}
+
+void DynamicVOptHistogram::SplitAndMerge(std::size_t s, std::size_t m) {
+  DH_DCHECK(m != s && m + 1 != s);
+  // Merge first (indices of the split target shift down when the merged
+  // pair precedes it).
+  MergePair(m);
+  if (m < s) --s;
+
+  // Split bucket s along the sub-bucket border that best balances the mass;
+  // both halves get equal sub-counts (rho = 0). The border snaps to an
+  // integer attribute position: all borders are created integral (loading
+  // uses data values, merges reuse existing borders), so repeated splits
+  // drive hot cells down to true width-1 singleton buckets instead of
+  // trapping them in fractional-width buckets that are too narrow to split
+  // again (§7.1: DADO "can afford to create buckets with only one value").
+  VBucket& old = buckets_[s];
+  const int k = config_.sub_buckets;
+  const double w = old.Width();
+  DH_DCHECK(w >= kMinSplitWidth);
+  int best_j = 1;
+  double best_imbalance = kInf;
+  double prefix = 0.0;
+  const double total = old.Total(k);
+  for (int j = 1; j < k; ++j) {
+    prefix += old.sub[static_cast<std::size_t>(j - 1)];
+    const double imbalance = std::fabs(2.0 * prefix - total);
+    if (imbalance < best_imbalance) {
+      best_imbalance = imbalance;
+      best_j = j;
+    }
+  }
+  const double raw_border =
+      old.left + w * static_cast<double>(best_j) / static_cast<double>(k);
+  const double snap_lo = std::ceil(old.left + 1.0);
+  const double snap_hi = std::floor(old.right - 1.0);
+  // snap_lo > snap_hi can only happen for legacy fractional borders; fall
+  // back to the exact sub-border in that case.
+  const double border = snap_lo <= snap_hi
+                            ? std::clamp(std::round(raw_border), snap_lo,
+                                         snap_hi)
+                            : raw_border;
+  // Mass on each side of the snapped border, by proportional overlap with
+  // the bucket's fragments.
+  Fragment old_frags[kMaxSubBuckets];
+  const int n_frags = FragmentsOf(old, old_frags);
+  double left_mass = 0.0;
+  for (int f = 0; f < n_frags; ++f) {
+    const double lo = old_frags[f].left;
+    const double hi = std::min(old_frags[f].right, border);
+    if (hi > lo) {
+      left_mass += old_frags[f].count * (hi - lo) /
+                   (old_frags[f].right - old_frags[f].left);
+    }
+  }
+  VBucket lo, hi;
+  lo.left = old.left;
+  lo.right = border;
+  FillUniform(&lo, left_mass);
+  hi.left = border;
+  hi.right = old.right;
+  FillUniform(&hi, total - left_mass);
+  old = lo;
+  buckets_.insert(buckets_.begin() + static_cast<std::ptrdiff_t>(s) + 1, hi);
+  rho_.insert(rho_.begin() + static_cast<std::ptrdiff_t>(s) + 1, 0.0);
+  pair_rho_.insert(pair_rho_.begin() + static_cast<std::ptrdiff_t>(s), kInf);
+  RefreshCachesAround(s);
+  RefreshCachesAround(s + 1);
+  ++repartitions_;
+}
+
+void DynamicVOptHistogram::MaybeRepartition() {
+  if (buckets_.size() < 3) return;
+  // Theorem 4.1: the best split candidate is the bucket with the largest
+  // rho (among splittable buckets), and the best merge candidate is the
+  // adjacent pair with the smallest merged rho.
+  std::size_t best_s = buckets_.size();
+  double best_s_rho = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].Width() < kMinSplitWidth) continue;
+    if (best_s == buckets_.size() || rho_[i] > best_s_rho) {
+      best_s = i;
+      best_s_rho = rho_[i];
+    }
+  }
+  if (best_s == buckets_.size() || best_s_rho <= 0.0) return;
+
+  // Best merge pair that does not involve the split bucket (the split and
+  // the merge must operate on disjoint buckets to be executable).
+  std::size_t best_m = buckets_.size();
+  double best_m_rho = kInf;
+  for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+    if (i == best_s || i + 1 == best_s) continue;
+    if (pair_rho_[i] < best_m_rho) {
+      best_m_rho = pair_rho_[i];
+      best_m = i;
+    }
+  }
+  if (best_m == buckets_.size()) return;
+
+  // Execute only if the swap strictly improves the objective
+  // (min delta-rho = rho_M - rho_S < 0).
+  if (best_s_rho > best_m_rho) SplitAndMerge(best_s, best_m);
+}
+
+void DynamicVOptHistogram::Insert(std::int64_t value) {
+  if (loading_) {
+    loading_counts_[value] += 1.0;
+    total_ += 1.0;
+    FinishLoadingIfReady();
+    return;
+  }
+  total_ += 1.0;
+  const double x = static_cast<double>(value);
+  if (x < buckets_.front().left || x >= buckets_.back().right) {
+    // "Create a new bucket just for this point" — it borrows a bucket that
+    // is immediately paid back by merging the globally best pair.
+    VBucket nb;
+    if (x < buckets_.front().left) {
+      nb.left = x;
+      nb.right = buckets_.front().left;
+      nb.sub[static_cast<std::size_t>(SubIndexFor(nb, value))] = 1.0;
+      buckets_.insert(buckets_.begin(), nb);
+      rho_.insert(rho_.begin(), 0.0);
+      pair_rho_.insert(pair_rho_.begin(), kInf);
+      RefreshCachesAround(0);
+    } else {
+      nb.left = buckets_.back().right;
+      nb.right = x + 1.0;
+      nb.sub[static_cast<std::size_t>(SubIndexFor(nb, value))] = 1.0;
+      buckets_.push_back(nb);
+      rho_.push_back(0.0);
+      pair_rho_.push_back(kInf);
+      RefreshCachesAround(buckets_.size() - 1);
+    }
+    std::size_t best_m = 0;
+    double best = kInf;
+    for (std::size_t i = 0; i + 1 < buckets_.size(); ++i) {
+      if (pair_rho_[i] < best) {
+        best = pair_rho_[i];
+        best_m = i;
+      }
+    }
+    MergePair(best_m);
+    return;
+  }
+  const std::size_t index = FindBucketIndex(x);
+  VBucket& b = buckets_[index];
+  b.sub[static_cast<std::size_t>(SubIndexFor(b, value))] += 1.0;
+  RefreshCachesAround(index);
+  MaybeRepartition();
+}
+
+void DynamicVOptHistogram::Delete(std::int64_t value,
+                                  std::int64_t /*live_copies_before*/) {
+  if (loading_) {
+    auto it = loading_counts_.find(value);
+    DH_CHECK(it != loading_counts_.end() && it->second > 0.0);
+    it->second -= 1.0;
+    total_ -= 1.0;
+    if (it->second == 0.0) loading_counts_.erase(it);
+    return;
+  }
+  const double x = static_cast<double>(value);
+  const std::size_t index = FindBucketIndex(std::clamp(
+      x, buckets_.front().left, buckets_.back().right - 1e-9));
+  const int k = config_.sub_buckets;
+
+  // Try the counter the value falls in, then the other counters of the same
+  // bucket, then spiral outward to the closest bucket with mass (§7.3).
+  const auto try_bucket = [&](std::size_t i) -> bool {
+    VBucket& b = buckets_[i];
+    const int preferred =
+        i == index ? SubIndexFor(b, value)
+                   : (i < index ? k - 1 : 0);  // counter nearest the value
+    for (int offset = 0; offset < k; ++offset) {
+      for (const int sign : {-1, +1}) {
+        const int h = preferred + sign * offset;
+        if (h < 0 || h >= k) continue;
+        double& c = b.sub[static_cast<std::size_t>(h)];
+        if (c >= 1.0) {
+          c -= 1.0;
+          total_ -= 1.0;
+          RefreshCachesAround(i);
+          return true;
+        }
+        if (offset == 0) break;  // same counter for both signs
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t radius = 0; radius < buckets_.size(); ++radius) {
+    const bool has_low = index >= radius;
+    const bool has_high = index + radius < buckets_.size();
+    if (!has_low && !has_high) break;
+    if (has_low && try_bucket(index - radius)) {
+      MaybeRepartition();
+      return;
+    }
+    if (radius > 0 && has_high && try_bucket(index + radius)) {
+      MaybeRepartition();
+      return;
+    }
+  }
+  // No counter holds a whole point (heavily clamped history): take the
+  // fractional remainder from the largest counter.
+  double* largest = nullptr;
+  std::size_t largest_bucket = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    for (int h = 0; h < k; ++h) {
+      double& c = buckets_[i].sub[static_cast<std::size_t>(h)];
+      if (largest == nullptr || c > *largest) {
+        largest = &c;
+        largest_bucket = i;
+      }
+    }
+  }
+  if (largest != nullptr && *largest > 0.0) {
+    total_ -= *largest;
+    *largest = 0.0;
+    RefreshCachesAround(largest_bucket);
+    MaybeRepartition();
+  }
+}
+
+HistogramModel DynamicVOptHistogram::Model() const {
+  std::vector<HistogramModel::Piece> pieces;
+  std::vector<HistogramModel::BucketRef> refs;
+  if (loading_) {
+    for (const auto& [value, count] : loading_counts_) {
+      refs.push_back({static_cast<std::uint32_t>(pieces.size()), 1, true});
+      pieces.push_back({static_cast<double>(value),
+                        static_cast<double>(value) + 1.0, count});
+    }
+    return HistogramModel(std::move(pieces), std::move(refs));
+  }
+  Fragment frags[kMaxSubBuckets];
+  for (const VBucket& b : buckets_) {
+    const int n = FragmentsOf(b, frags);
+    refs.push_back({static_cast<std::uint32_t>(pieces.size()),
+                    static_cast<std::uint32_t>(n), false});
+    for (int i = 0; i < n; ++i) {
+      pieces.push_back({frags[i].left, frags[i].right, frags[i].count});
+    }
+  }
+  return HistogramModel(std::move(pieces), std::move(refs));
+}
+
+}  // namespace dynhist

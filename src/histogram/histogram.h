@@ -1,0 +1,50 @@
+// The maintainable-histogram interface.
+//
+// Dynamic histograms (§1) are "continuously updateable, closely tracking
+// changes to the actual data": they absorb the insert/delete stream of the
+// underlying relation and can produce an estimation snapshot at any moment.
+// Everything the optimizer sees goes through Model(); everything the DBMS
+// does to the data goes through Insert()/Delete().
+
+#ifndef DYNHIST_HISTOGRAM_HISTOGRAM_H_
+#define DYNHIST_HISTOGRAM_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/histogram/model.h"
+
+namespace dynhist {
+
+/// Abstract incrementally-maintained histogram.
+class Histogram {
+ public:
+  virtual ~Histogram() = default;
+
+  /// Records the insertion of one tuple with attribute value `value`.
+  virtual void Insert(std::int64_t value) = 0;
+
+  /// Records the deletion of one tuple with attribute value `value`.
+  ///
+  /// `live_copies_before` is the number of copies of `value` in the
+  /// relation just before this deletion. The executor deletes a concrete
+  /// tuple, so the count is always available to the system; histogram
+  /// classes that track only aggregates ignore it, while the sampling-
+  /// backed AC histogram uses it to decide whether the deleted tuple was
+  /// in its backing sample (DESIGN.md §4, substitution 3).
+  virtual void Delete(std::int64_t value,
+                      std::int64_t live_copies_before) = 0;
+
+  /// Exports the current estimation snapshot.
+  virtual HistogramModel Model() const = 0;
+
+  /// Number of live data points the histogram believes it covers.
+  virtual double TotalCount() const = 0;
+
+  /// Short algorithm name for reports ("DC", "DADO", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM_HISTOGRAM_H_

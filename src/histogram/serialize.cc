@@ -1,0 +1,113 @@
+#include "src/histogram/serialize.h"
+
+#include <cstring>
+
+namespace dynhist {
+
+namespace {
+
+// "DHM" + format version byte.
+constexpr char kMagic[4] = {'D', 'H', 'M', '1'};
+
+void AppendRaw(std::string* out, const void* data, std::size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+// Cursor-style reader; every Read checks remaining length.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    if (bytes_.size() - offset_ < sizeof(T)) return false;
+    std::memcpy(value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeModel(const HistogramModel& model) {
+  std::string out;
+  const auto num_pieces = static_cast<std::uint32_t>(model.NumPieces());
+  const auto num_buckets = static_cast<std::uint32_t>(model.NumBuckets());
+  out.reserve(sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
+              num_pieces * 3 * sizeof(double) +
+              num_buckets * (2 * sizeof(std::uint32_t) + 1));
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendValue(&out, num_pieces);
+  AppendValue(&out, num_buckets);
+  for (const HistogramModel::Piece& p : model.pieces()) {
+    AppendValue(&out, p.left);
+    AppendValue(&out, p.right);
+    AppendValue(&out, p.count);
+  }
+  for (const HistogramModel::BucketRef& b : model.buckets()) {
+    AppendValue(&out, b.first_piece);
+    AppendValue(&out, b.num_pieces);
+    AppendValue(&out, static_cast<std::uint8_t>(b.singular ? 1 : 0));
+  }
+  return out;
+}
+
+bool DeserializeModel(std::string_view bytes, HistogramModel* out) {
+  Reader reader(bytes);
+  char magic[4];
+  if (!reader.Read(&magic)) return false;
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint32_t num_pieces = 0;
+  std::uint32_t num_buckets = 0;
+  if (!reader.Read(&num_pieces) || !reader.Read(&num_buckets)) return false;
+  // A bucket needs at least one piece; an oversized count is corrupt.
+  if (num_buckets > num_pieces) return false;
+  if (num_pieces > 0 && num_buckets == 0) return false;
+
+  std::vector<HistogramModel::Piece> pieces(num_pieces);
+  for (auto& p : pieces) {
+    if (!reader.Read(&p.left) || !reader.Read(&p.right) ||
+        !reader.Read(&p.count)) {
+      return false;
+    }
+    // The HistogramModel constructor DH_CHECKs these; untrusted input must
+    // fail softly instead.
+    if (!(p.right > p.left) || !(p.count >= 0.0)) return false;
+  }
+  for (std::uint32_t i = 1; i < num_pieces; ++i) {
+    if (pieces[i].left < pieces[i - 1].right - 1e-9) return false;
+  }
+
+  std::vector<HistogramModel::BucketRef> buckets(num_buckets);
+  std::uint32_t next_piece = 0;
+  for (auto& b : buckets) {
+    std::uint8_t singular = 0;
+    if (!reader.Read(&b.first_piece) || !reader.Read(&b.num_pieces) ||
+        !reader.Read(&singular)) {
+      return false;
+    }
+    if (singular > 1) return false;
+    b.singular = singular == 1;
+    if (b.first_piece != next_piece || b.num_pieces == 0) return false;
+    if (b.first_piece + b.num_pieces > num_pieces) return false;
+    next_piece = b.first_piece + b.num_pieces;
+  }
+  if (next_piece != num_pieces) return false;
+  if (!reader.AtEnd()) return false;  // trailing garbage
+
+  *out = HistogramModel(std::move(pieces), std::move(buckets));
+  return true;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,33 @@
+// Histogram snapshot (de)serialization.
+//
+// A DBMS stores its statistics in the catalog; this module gives
+// HistogramModel a compact, versioned binary wire format so snapshots can
+// be persisted, shipped between sites (§8 — the "histogram + union"
+// strategy moves exactly these bytes), and reloaded. The format is
+// fixed-layout little-endian: a magic/version header, piece and bucket
+// counts, then the raw piece and bucket records. Deserialization never
+// aborts on malformed input — it re-validates every structural invariant
+// and reports failure instead.
+
+#ifndef DYNHIST_HISTOGRAM_SERIALIZE_H_
+#define DYNHIST_HISTOGRAM_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/histogram/model.h"
+
+namespace dynhist {
+
+/// Serializes a model snapshot to its binary wire format.
+std::string SerializeModel(const HistogramModel& model);
+
+/// Parses a serialized snapshot. Returns false (leaving `out` untouched)
+/// if the bytes are truncated, corrupt, of a different version, or violate
+/// any model invariant (unsorted/overlapping pieces, negative counts,
+/// buckets not tiling the pieces).
+bool DeserializeModel(std::string_view bytes, HistogramModel* out);
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM_SERIALIZE_H_

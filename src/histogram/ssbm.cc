@@ -1,0 +1,220 @@
+#include "src/histogram/ssbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/common/check.h"
+#include "src/histogram/static_common.h"
+
+namespace dynhist {
+
+namespace {
+
+// Live bucket state during merging. Extents are *data* extents
+// [first value, last value + 1); the gap between two buckets joins the
+// merged bucket's extent when they merge (its zero frequencies then count
+// toward the deviation, per Eq. 3/5 with j over all domain values). The
+// exported model uses the storage convention of ModelFromSlices.
+struct MergeBucket {
+  std::size_t first_entry = 0;
+  std::size_t last_entry = 0;
+  double left = 0.0;   // value of first entry
+  double right = 0.0;  // value of last entry + 1
+  double total = 0.0;  // sum of frequencies
+  double sum_sq = 0.0; // sum of squared frequencies
+  std::int64_t prev = -1;
+  std::int64_t next = -1;
+  std::uint32_t version = 0;
+  bool alive = true;
+};
+
+double SquaredDeviation(const MergeBucket& b) {
+  const double width = b.right - b.left;
+  return std::max(0.0, b.sum_sq - b.total * b.total / width);
+}
+
+// Absolute deviation requires the individual frequencies; O(span).
+double AbsoluteDeviation(const MergeBucket& b,
+                         const std::vector<ValueFreq>& entries) {
+  const double width = b.right - b.left;
+  const double avg = b.total / width;
+  double dev = 0.0;
+  double nonzero = 0.0;
+  for (std::size_t i = b.first_entry; i <= b.last_entry; ++i) {
+    dev += std::fabs(entries[i].freq - avg);
+    nonzero += 1.0;
+  }
+  dev += (width - nonzero) * avg;  // gap zeros deviate by avg each
+  return dev;
+}
+
+double Deviation(const MergeBucket& b, const std::vector<ValueFreq>& entries,
+                 DeviationPolicy policy) {
+  return policy == DeviationPolicy::kSquared ? SquaredDeviation(b)
+                                             : AbsoluteDeviation(b, entries);
+}
+
+MergeBucket Merged(const MergeBucket& a, const MergeBucket& b) {
+  DH_DCHECK(a.last_entry + 1 == b.first_entry);
+  MergeBucket m;
+  m.first_entry = a.first_entry;
+  m.last_entry = b.last_entry;
+  m.left = a.left;
+  m.right = b.right;
+  m.total = a.total + b.total;
+  m.sum_sq = a.sum_sq + b.sum_sq;
+  return m;
+}
+
+}  // namespace
+
+HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
+                         std::int64_t buckets, const SsbmOptions& options) {
+  DH_CHECK(buckets >= 1);
+  if (entries.empty()) return HistogramModel();
+  const std::size_t d = entries.size();
+  if (static_cast<std::size_t>(buckets) >= d) {
+    return internal::ExactModel(entries);
+  }
+
+  // The exact histogram: one width-1 bucket per distinct value (rho = 0).
+  std::vector<MergeBucket> bucket(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    bucket[i].first_entry = bucket[i].last_entry = i;
+    bucket[i].left = static_cast<double>(entries[i].value);
+    bucket[i].right = bucket[i].left + 1.0;
+    bucket[i].total = entries[i].freq;
+    bucket[i].sum_sq = entries[i].freq * entries[i].freq;
+    bucket[i].prev = static_cast<std::int64_t>(i) - 1;
+    bucket[i].next = (i + 1 < d) ? static_cast<std::int64_t>(i) + 1 : -1;
+  }
+
+  const auto merge_key = [&](const MergeBucket& a,
+                             const MergeBucket& b) -> double {
+    const MergeBucket m = Merged(a, b);
+    const double rho_m = Deviation(m, entries, options.policy);
+    if (options.merge_key == SsbmOptions::MergeKey::kMergedDeviation) {
+      return rho_m;
+    }
+    return rho_m - Deviation(a, entries, options.policy) -
+           Deviation(b, entries, options.policy);
+  };
+
+  if (options.use_quadratic_scan) {
+    // The paper's cost model: every merge rescans all surviving adjacent
+    // pairs (O(D) per merge, O(D^2) total).
+    std::size_t live = d;
+    while (live > static_cast<std::size_t>(buckets)) {
+      std::size_t best = d;
+      double best_key = 0.0;
+      for (std::int64_t i = 0; i >= 0;
+           i = bucket[static_cast<std::size_t>(i)].next) {
+        const MergeBucket& a = bucket[static_cast<std::size_t>(i)];
+        if (a.next < 0) break;
+        const MergeBucket& b = bucket[static_cast<std::size_t>(a.next)];
+        const double key = merge_key(a, b);
+        if (best == d || key < best_key) {
+          best = static_cast<std::size_t>(i);
+          best_key = key;
+        }
+      }
+      DH_CHECK(best < d);
+      MergeBucket& a = bucket[best];
+      MergeBucket& b = bucket[static_cast<std::size_t>(a.next)];
+      const MergeBucket m = Merged(a, b);
+      const std::int64_t after = b.next;
+      const std::int64_t a_prev = a.prev;
+      b.alive = false;
+      a = m;
+      a.prev = a_prev;
+      a.next = after;
+      a.alive = true;
+      if (after >= 0) {
+        bucket[static_cast<std::size_t>(after)].prev =
+            static_cast<std::int64_t>(best);
+      }
+      --live;
+    }
+    std::vector<internal::BucketSlice> slices;
+    for (std::int64_t i = 0; i >= 0;
+         i = bucket[static_cast<std::size_t>(i)].next) {
+      const MergeBucket& b = bucket[static_cast<std::size_t>(i)];
+      slices.push_back({b.first_entry, b.last_entry,
+                        b.first_entry == b.last_entry});
+    }
+    DH_CHECK(slices.size() == static_cast<std::size_t>(buckets));
+    return internal::ModelFromSlices(entries, slices);
+  }
+
+  // Lazy min-heap of merge candidates; stale entries (version mismatch)
+  // are discarded on pop.
+  struct Candidate {
+    double key;
+    std::size_t left_id;
+    std::uint32_t left_version;
+    std::uint32_t right_version;
+    bool operator>(const Candidate& other) const { return key > other.key; }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> heap;
+  const auto push_candidate = [&](std::size_t left_id) {
+    const MergeBucket& a = bucket[left_id];
+    if (!a.alive || a.next < 0) return;
+    const MergeBucket& b = bucket[static_cast<std::size_t>(a.next)];
+    heap.push({merge_key(a, b), left_id, a.version, b.version});
+  };
+  for (std::size_t i = 0; i + 1 < d; ++i) push_candidate(i);
+
+  std::size_t live = d;
+  while (live > static_cast<std::size_t>(buckets)) {
+    DH_CHECK(!heap.empty());
+    const Candidate c = heap.top();
+    heap.pop();
+    MergeBucket& a = bucket[c.left_id];
+    if (!a.alive || a.version != c.left_version || a.next < 0) continue;
+    MergeBucket& b = bucket[static_cast<std::size_t>(a.next)];
+    if (!b.alive || b.version != c.right_version) continue;
+
+    // Merge b into a.
+    const MergeBucket m = Merged(a, b);
+    const std::int64_t after = b.next;
+    b.alive = false;
+    const std::int64_t a_prev = a.prev;
+    const std::uint32_t a_version = a.version + 1;
+    a = m;
+    a.prev = a_prev;
+    a.next = after;
+    a.version = a_version;
+    a.alive = true;
+    if (after >= 0) bucket[static_cast<std::size_t>(after)].prev =
+        static_cast<std::int64_t>(c.left_id);
+    --live;
+
+    if (a.prev >= 0) push_candidate(static_cast<std::size_t>(a.prev));
+    push_candidate(c.left_id);
+  }
+
+  // Export surviving buckets as entry slices in value order.
+  std::vector<internal::BucketSlice> slices;
+  slices.reserve(live);
+  std::int64_t id = 0;
+  while (id >= 0 && !bucket[static_cast<std::size_t>(id)].alive) ++id;
+  // The head is always bucket 0 (merges fold right buckets into left ones).
+  DH_CHECK(id == 0);
+  for (std::int64_t i = 0; i >= 0;
+       i = bucket[static_cast<std::size_t>(i)].next) {
+    const MergeBucket& b = bucket[static_cast<std::size_t>(i)];
+    DH_CHECK(b.alive);
+    slices.push_back({b.first_entry, b.last_entry,
+                      /*singular=*/b.first_entry == b.last_entry});
+  }
+  DH_CHECK(slices.size() == static_cast<std::size_t>(buckets));
+  return internal::ModelFromSlices(entries, slices);
+}
+
+HistogramModel BuildSsbm(const FrequencyVector& data, std::int64_t buckets,
+                         const SsbmOptions& options) {
+  return BuildSsbm(data.NonZeroEntries(), buckets, options);
+}
+
+}  // namespace dynhist

@@ -1,0 +1,52 @@
+// Shared plumbing for static histogram builders (internal header).
+//
+// Static builders work over the sorted nonzero entries of a distribution
+// and decide only where bucket borders fall; this header turns an entry
+// partition into a HistogramModel under the paper's §2.1 framework
+// convention for static histograms: "each bucket has the minimum and
+// (optionally) the maximum value in the bucket", so a bucket spans the
+// *data extent* [first_value, last_value + 1) of the entries it holds.
+// Empty gaps *between* buckets carry zero density (which is exact — the
+// data only lives at the distinct values), while gaps *inside* a bucket
+// are subject to the continuous-value assumption and count toward its
+// width and deviation. Single-entry buckets are width-1 singletons.
+// (Dynamic histograms use the cheaper left-border-only convention the
+// paper specifies for them; see dynamic_compressed.h / dynamic_vopt.h.)
+
+#ifndef DYNHIST_HISTOGRAM_STATIC_COMMON_H_
+#define DYNHIST_HISTOGRAM_STATIC_COMMON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/histogram/model.h"
+
+namespace dynhist::internal {
+
+/// One bucket expressed as an inclusive range of entry indices.
+struct BucketSlice {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  bool singular = false;
+};
+
+/// Converts an ordered, exactly-tiling list of entry slices into a model.
+/// `entries` must be the ascending nonzero entries of the distribution.
+HistogramModel ModelFromSlices(const std::vector<ValueFreq>& entries,
+                               const std::vector<BucketSlice>& slices);
+
+/// The exact model used when the bucket budget covers every distinct value:
+/// one singleton bucket per entry (KS = 0 against the source distribution).
+HistogramModel ExactModel(const std::vector<ValueFreq>& entries);
+
+/// Greedy equal-mass cut of entries [first, last] into `buckets` slices
+/// (each slice gets as close to total/buckets mass as whole entries allow;
+/// every slice is non-empty). Appends to `out`.
+void EquiDepthSlices(const std::vector<ValueFreq>& entries, std::size_t first,
+                     std::size_t last, std::size_t buckets,
+                     std::vector<BucketSlice>* out);
+
+}  // namespace dynhist::internal
+
+#endif  // DYNHIST_HISTOGRAM_STATIC_COMMON_H_

@@ -1,0 +1,159 @@
+#include "src/histogram/static_compressed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/histogram/static_common.h"
+
+namespace dynhist {
+
+HistogramModel BuildCompressed(const std::vector<ValueFreq>& entries,
+                               std::int64_t buckets) {
+  DH_CHECK(buckets >= 1);
+  if (entries.empty()) return HistogramModel();
+  if (static_cast<std::size_t>(buckets) >= entries.size()) {
+    return internal::ExactModel(entries);
+  }
+
+  double total = 0.0;
+  for (const ValueFreq& e : entries) total += e.freq;
+  const double threshold = total / static_cast<double>(buckets);
+
+  // Mark singular entries (f > N/B). At most buckets-1 entries can qualify
+  // (B entries each above N/B would sum past N).
+  std::vector<bool> singular(entries.size(), false);
+  std::size_t num_singular = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].freq > threshold) {
+      singular[i] = true;
+      ++num_singular;
+    }
+  }
+  DH_CHECK(num_singular < static_cast<std::size_t>(buckets));
+
+  // Collect maximal runs of non-singular entries between singular ones.
+  struct Run {
+    std::size_t first;
+    std::size_t last;
+    double mass;
+  };
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < entries.size();) {
+    if (singular[i]) {
+      ++i;
+      continue;
+    }
+    Run run{i, i, 0.0};
+    while (i < entries.size() && !singular[i]) {
+      run.last = i;
+      run.mass += entries[i].freq;
+      ++i;
+    }
+    runs.push_back(run);
+  }
+
+  std::size_t regular_budget =
+      static_cast<std::size_t>(buckets) - num_singular;
+  // Every run needs at least one bucket. If the singular values fragment
+  // the axis into more runs than the regular budget allows, demote the
+  // smallest singular values back to regular until the runs fit (a rare
+  // degenerate case; the paper's criterion alone cannot overflow B, but
+  // fragmentation can).
+  while (runs.size() > regular_budget) {
+    std::size_t smallest = entries.size();
+    double smallest_freq = 0.0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (singular[i] &&
+          (smallest == entries.size() || entries[i].freq < smallest_freq)) {
+        smallest = i;
+        smallest_freq = entries[i].freq;
+      }
+    }
+    DH_CHECK(smallest < entries.size());
+    singular[smallest] = false;
+    --num_singular;
+    ++regular_budget;
+    // Rebuild runs with the demoted entry now regular.
+    runs.clear();
+    for (std::size_t i = 0; i < entries.size();) {
+      if (singular[i]) {
+        ++i;
+        continue;
+      }
+      Run run{i, i, 0.0};
+      while (i < entries.size() && !singular[i]) {
+        run.last = i;
+        run.mass += entries[i].freq;
+        ++i;
+      }
+      runs.push_back(run);
+    }
+  }
+
+  // Distribute the regular budget across runs proportionally to mass
+  // (largest remainder), with a floor of one bucket per run.
+  std::vector<std::size_t> alloc(runs.size(), 1);
+  std::size_t allocated = runs.size();
+  if (!runs.empty() && regular_budget > allocated) {
+    double regular_mass = 0.0;
+    for (const Run& r : runs) regular_mass += r.mass;
+    const std::size_t extra_budget = regular_budget - allocated;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t handed = 0;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      const double exact =
+          regular_mass > 0.0
+              ? static_cast<double>(extra_budget) * runs[r].mass / regular_mass
+              : 0.0;
+      const auto whole = static_cast<std::size_t>(exact);
+      // A run cannot use more buckets than it has entries.
+      const std::size_t cap = runs[r].last - runs[r].first + 1;
+      const std::size_t grant = std::min(whole, cap - alloc[r]);
+      alloc[r] += grant;
+      handed += grant;
+      remainders.push_back({exact - static_cast<double>(whole), r});
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    std::size_t leftover = extra_budget - handed;
+    for (std::size_t pass = 0; leftover > 0 && pass < 2 * runs.size();
+         ++pass) {
+      const std::size_t r = remainders[pass % runs.size()].second;
+      const std::size_t cap = runs[r].last - runs[r].first + 1;
+      if (alloc[r] < cap) {
+        ++alloc[r];
+        --leftover;
+      }
+    }
+  }
+
+  // Emit slices in value order: singular singletons interleaved with
+  // equi-depth partitions of each run.
+  std::vector<internal::BucketSlice> slices;
+  std::size_t run_idx = 0;
+  for (std::size_t i = 0; i < entries.size();) {
+    if (singular[i]) {
+      slices.push_back({i, i, true});
+      ++i;
+    } else {
+      const Run& run = runs[run_idx];
+      DH_CHECK(run.first == i);
+      internal::EquiDepthSlices(entries, run.first, run.last, alloc[run_idx],
+                                &slices);
+      i = run.last + 1;
+      ++run_idx;
+    }
+  }
+  return internal::ModelFromSlices(entries, slices);
+}
+
+HistogramModel BuildCompressed(const FrequencyVector& data,
+                               std::int64_t buckets) {
+  return BuildCompressed(data.NonZeroEntries(), buckets);
+}
+
+}  // namespace dynhist

@@ -1,0 +1,32 @@
+// Static Compressed(V,F) histogram (§2, §3, Appendix A; [9]).
+//
+// A Compressed histogram stores the highest-frequency values in singleton
+// ("singular") buckets — justified for values whose frequency exceeds N/B —
+// and partitions the remaining values as an Equi-Depth histogram. An
+// Equi-Depth histogram is the special case with no singular buckets.
+
+#ifndef DYNHIST_HISTOGRAM_STATIC_COMPRESSED_H_
+#define DYNHIST_HISTOGRAM_STATIC_COMPRESSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/histogram/model.h"
+
+namespace dynhist {
+
+/// Builds a Compressed(V,F) histogram with at most `buckets` buckets.
+/// Values with frequency > N/buckets become singular buckets; the rest are
+/// partitioned equi-depth. (At most buckets-1 values can exceed N/B, so the
+/// regular region always gets at least one bucket when nonempty.)
+HistogramModel BuildCompressed(const std::vector<ValueFreq>& entries,
+                               std::int64_t buckets);
+
+/// Convenience overload reading the current state of a FrequencyVector.
+HistogramModel BuildCompressed(const FrequencyVector& data,
+                               std::int64_t buckets);
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM_STATIC_COMPRESSED_H_

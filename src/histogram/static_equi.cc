@@ -1,0 +1,160 @@
+#include "src/histogram/static_equi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/histogram/static_common.h"
+
+namespace dynhist {
+
+namespace internal {
+
+HistogramModel ModelFromSlices(const std::vector<ValueFreq>& entries,
+                               const std::vector<BucketSlice>& slices) {
+  if (entries.empty()) return HistogramModel();
+  DH_CHECK(!slices.empty());
+  DH_CHECK(slices.front().first == 0);
+  DH_CHECK(slices.back().last == entries.size() - 1);
+
+  std::vector<HistogramModel::Piece> pieces;
+  std::vector<HistogramModel::BucketRef> buckets;
+  pieces.reserve(slices.size());
+  buckets.reserve(slices.size());
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    const BucketSlice& slice = slices[s];
+    DH_CHECK(slice.first <= slice.last);
+    if (s > 0) DH_CHECK(slice.first == slices[s - 1].last + 1);
+    // Data-extent convention (§2.1): the bucket spans from its first to its
+    // last distinct value; gaps before the next bucket carry zero density.
+    const double left = static_cast<double>(entries[slice.first].value);
+    const double right = static_cast<double>(entries[slice.last].value) + 1.0;
+    double count = 0.0;
+    for (std::size_t i = slice.first; i <= slice.last; ++i) {
+      count += entries[i].freq;
+    }
+    DH_CHECK(right > left);
+    const bool singular = slice.singular || slice.first == slice.last;
+    buckets.push_back(
+        {static_cast<std::uint32_t>(pieces.size()), 1, singular});
+    pieces.push_back({left, right, count});
+  }
+  return HistogramModel(std::move(pieces), std::move(buckets));
+}
+
+HistogramModel ExactModel(const std::vector<ValueFreq>& entries) {
+  std::vector<BucketSlice> slices(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    slices[i] = {i, i, /*singular=*/true};
+  }
+  return ModelFromSlices(entries, slices);
+}
+
+void EquiDepthSlices(const std::vector<ValueFreq>& entries, std::size_t first,
+                     std::size_t last, std::size_t buckets,
+                     std::vector<BucketSlice>* out) {
+  DH_CHECK(first <= last && last < entries.size());
+  DH_CHECK(buckets >= 1);
+  const std::size_t n = last - first + 1;
+  if (buckets >= n) {
+    for (std::size_t i = first; i <= last; ++i) {
+      out->push_back({i, i, false});
+    }
+    return;
+  }
+  double total = 0.0;
+  for (std::size_t i = first; i <= last; ++i) total += entries[i].freq;
+
+  std::size_t begin = first;
+  double consumed = 0.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t remaining_buckets = buckets - b - 1;
+    // Last index this slice may reach while leaving one entry per
+    // remaining bucket.
+    const std::size_t max_end = last - remaining_buckets;
+    std::size_t end = begin;
+    if (b + 1 == buckets) {
+      end = last;
+    } else {
+      const double target =
+          total * static_cast<double>(b + 1) / static_cast<double>(buckets);
+      double acc = consumed;
+      end = begin;
+      // Grow the slice while the cumulative mass stays below the target
+      // quantile; stop early if later buckets would starve.
+      while (end < max_end) {
+        acc += entries[end].freq;
+        // Place the border on whichever side of the target is closer.
+        const double next = entries[end + 1].freq;
+        if (acc >= target) break;
+        if (acc + next > target && (target - acc) < (acc + next - target)) {
+          break;
+        }
+        ++end;
+      }
+      for (std::size_t i = begin; i <= end; ++i) consumed += entries[i].freq;
+    }
+    out->push_back({begin, end, false});
+    begin = end + 1;
+  }
+  DH_CHECK(begin == last + 1);
+}
+
+}  // namespace internal
+
+HistogramModel BuildEquiWidth(const std::vector<ValueFreq>& entries,
+                              std::int64_t buckets) {
+  DH_CHECK(buckets >= 1);
+  if (entries.empty()) return HistogramModel();
+  const std::int64_t lo = entries.front().value;
+  const std::int64_t hi = entries.back().value + 1;
+  const double width =
+      static_cast<double>(hi - lo) / static_cast<double>(buckets);
+
+  // Slice entries at the equal-width borders; empty ranges produce no
+  // bucket (the preceding bucket absorbs the range, matching the stored
+  // borders convention of n left borders).
+  std::vector<internal::BucketSlice> slices;
+  std::size_t i = 0;
+  for (std::int64_t b = 0; b < buckets && i < entries.size(); ++b) {
+    const double border =
+        (b + 1 == buckets)
+            ? static_cast<double>(hi)
+            : static_cast<double>(lo) + width * static_cast<double>(b + 1);
+    std::size_t j = i;
+    while (j < entries.size() && static_cast<double>(entries[j].value) < border) {
+      ++j;
+    }
+    if (j > i) {
+      slices.push_back({i, j - 1, false});
+      i = j;
+    }
+  }
+  DH_CHECK(i == entries.size());
+  return internal::ModelFromSlices(entries, slices);
+}
+
+HistogramModel BuildEquiDepth(const std::vector<ValueFreq>& entries,
+                              std::int64_t buckets) {
+  DH_CHECK(buckets >= 1);
+  if (entries.empty()) return HistogramModel();
+  if (static_cast<std::size_t>(buckets) >= entries.size()) {
+    return internal::ExactModel(entries);
+  }
+  std::vector<internal::BucketSlice> slices;
+  internal::EquiDepthSlices(entries, 0, entries.size() - 1,
+                            static_cast<std::size_t>(buckets), &slices);
+  return internal::ModelFromSlices(entries, slices);
+}
+
+HistogramModel BuildEquiWidth(const FrequencyVector& data,
+                              std::int64_t buckets) {
+  return BuildEquiWidth(data.NonZeroEntries(), buckets);
+}
+
+HistogramModel BuildEquiDepth(const FrequencyVector& data,
+                              std::int64_t buckets) {
+  return BuildEquiDepth(data.NonZeroEntries(), buckets);
+}
+
+}  // namespace dynhist

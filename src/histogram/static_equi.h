@@ -1,0 +1,37 @@
+// Static Equi-Width and Equi-Depth histograms (Appendix A).
+//
+// Equi-Width is Equi-Sum(V,S): the attribute-value axis is split into
+// buckets of equal value range. Equi-Depth is Equi-Sum(V,F): borders are
+// placed so every bucket holds (as nearly as whole distinct values allow)
+// the same number of points. Both serve as classical baselines; Equi-Depth
+// is also the regular-bucket part of the Compressed histogram.
+
+#ifndef DYNHIST_HISTOGRAM_STATIC_EQUI_H_
+#define DYNHIST_HISTOGRAM_STATIC_EQUI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/histogram/model.h"
+
+namespace dynhist {
+
+/// Builds an Equi-Width histogram with at most `buckets` buckets from the
+/// ascending nonzero `entries` of a distribution.
+HistogramModel BuildEquiWidth(const std::vector<ValueFreq>& entries,
+                              std::int64_t buckets);
+
+/// Builds an Equi-Depth histogram with at most `buckets` buckets.
+HistogramModel BuildEquiDepth(const std::vector<ValueFreq>& entries,
+                              std::int64_t buckets);
+
+/// Convenience overloads reading the current state of a FrequencyVector.
+HistogramModel BuildEquiWidth(const FrequencyVector& data,
+                              std::int64_t buckets);
+HistogramModel BuildEquiDepth(const FrequencyVector& data,
+                              std::int64_t buckets);
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM_STATIC_EQUI_H_

@@ -1,0 +1,236 @@
+#include "src/histogram/static_voptimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/histogram/static_common.h"
+
+namespace dynhist {
+
+namespace {
+
+// Fenwick tree over compressed frequency ranks, tracking per-rank counts
+// and frequency sums. Supports "how many inserted frequencies exceed x,
+// and what do they sum to" in O(log U) — the order statistic the absolute-
+// deviation bucket cost needs.
+class FreqFenwick {
+ public:
+  explicit FreqFenwick(std::vector<double> sorted_unique)
+      : unique_(std::move(sorted_unique)),
+        count_(unique_.size() + 1, 0),
+        sum_(unique_.size() + 1, 0.0) {}
+
+  void Insert(double f) {
+    for (std::size_t i = RankOf(f) + 1; i < count_.size(); i += i & (~i + 1)) {
+      count_[i] += 1;
+      sum_[i] += f;
+    }
+    total_count_ += 1;
+    total_sum_ += f;
+  }
+
+  // Count and sum of inserted frequencies strictly greater than x.
+  void QueryAbove(double x, std::int64_t* count, double* sum) const {
+    // Prefix over ranks of frequencies <= x.
+    const auto it = std::upper_bound(unique_.begin(), unique_.end(), x);
+    std::size_t i = static_cast<std::size_t>(it - unique_.begin());
+    std::int64_t below_count = 0;
+    double below_sum = 0.0;
+    for (; i > 0; i -= i & (~i + 1)) {
+      below_count += count_[i];
+      below_sum += sum_[i];
+    }
+    *count = total_count_ - below_count;
+    *sum = total_sum_ - below_sum;
+  }
+
+ private:
+  std::size_t RankOf(double f) const {
+    const auto it = std::lower_bound(unique_.begin(), unique_.end(), f);
+    DH_DCHECK(it != unique_.end() && *it == f);
+    return static_cast<std::size_t>(it - unique_.begin());
+  }
+
+  std::vector<double> unique_;
+  std::vector<std::int64_t> count_;
+  std::vector<double> sum_;
+  std::int64_t total_count_ = 0;
+  double total_sum_ = 0.0;
+};
+
+// Bucket extent convention shared with ModelFromSlices: a bucket holding
+// entries [a..b] spans its data extent [v_a, v_b + 1), so its width counts
+// the zero-frequency domain values *inside* the bucket but not the gap
+// that follows it (which belongs to no bucket and has exactly zero data).
+double ExtentWidth(const std::vector<ValueFreq>& entries, std::size_t a,
+                   std::size_t b) {
+  return static_cast<double>(entries[b].value) + 1.0 -
+         static_cast<double>(entries[a].value);
+}
+
+// Absolute-deviation bucket costs for all entry ranges, as a row-major
+// upper-triangular matrix cost[a * D + b]. Uses the identity
+//   sum_j |f_j - avg| = 2 * sum_{f_j > avg} (f_j - avg)
+// (deviations balance around the mean; only nonzero frequencies can exceed
+// the positive mean, so gap zeros never enter the "above" side).
+std::vector<float> AbsoluteCostMatrix(const std::vector<ValueFreq>& entries) {
+  const std::size_t d = entries.size();
+  // Memory guard: the matrix is the only quadratic allocation in dynhist.
+  DH_CHECK(d <= 8192);
+  std::vector<double> unique;
+  unique.reserve(d);
+  for (const ValueFreq& e : entries) unique.push_back(e.freq);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  std::vector<float> cost(d * d, 0.0f);
+  for (std::size_t a = 0; a < d; ++a) {
+    FreqFenwick fenwick(unique);
+    double total = 0.0;
+    for (std::size_t b = a; b < d; ++b) {
+      fenwick.Insert(entries[b].freq);
+      total += entries[b].freq;
+      const double width = ExtentWidth(entries, a, b);
+      const double avg = total / width;
+      std::int64_t above_count = 0;
+      double above_sum = 0.0;
+      fenwick.QueryAbove(avg, &above_count, &above_sum);
+      cost[a * d + b] = static_cast<float>(
+          2.0 * (above_sum - avg * static_cast<double>(above_count)));
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+HistogramModel BuildDeviationOptimal(const std::vector<ValueFreq>& entries,
+                                     std::int64_t buckets,
+                                     DeviationPolicy policy) {
+  DH_CHECK(buckets >= 1);
+  if (entries.empty()) return HistogramModel();
+  const std::size_t d = entries.size();
+  if (static_cast<std::size_t>(buckets) >= d) {
+    return internal::ExactModel(entries);
+  }
+
+  // Prefix sums give the squared-deviation cost in O(1):
+  //   SSE(a, b) = sum f^2 - T^2 / W   (zeros contribute nothing to sum f^2).
+  std::vector<double> prefix_f(d + 1, 0.0);
+  std::vector<double> prefix_f2(d + 1, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    prefix_f[i + 1] = prefix_f[i] + entries[i].freq;
+    prefix_f2[i + 1] = prefix_f2[i] + entries[i].freq * entries[i].freq;
+  }
+  std::vector<float> abs_cost;
+  if (policy == DeviationPolicy::kAbsolute) {
+    abs_cost = AbsoluteCostMatrix(entries);
+  }
+  const auto cost = [&](std::size_t a, std::size_t b) -> double {
+    if (policy == DeviationPolicy::kAbsolute) {
+      return static_cast<double>(abs_cost[a * d + b]);
+    }
+    const double t = prefix_f[b + 1] - prefix_f[a];
+    const double q = prefix_f2[b + 1] - prefix_f2[a];
+    const double w = ExtentWidth(entries, a, b);
+    return std::max(0.0, q - t * t / w);
+  };
+
+  // dp[b] = optimal cost of covering entries [0..b] with j buckets.
+  const auto nb = static_cast<std::size_t>(buckets);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp_prev(d, 0.0);
+  std::vector<double> dp_cur(d, kInf);
+  // parent[j][b] = first entry of the last bucket in the optimal j-bucket
+  // partition of [0..b].
+  std::vector<std::uint32_t> parent(nb * d, 0);
+  for (std::size_t b = 0; b < d; ++b) {
+    dp_prev[b] = cost(0, b);
+    parent[0 * d + b] = 0;
+  }
+  for (std::size_t j = 1; j < nb; ++j) {
+    std::fill(dp_cur.begin(), dp_cur.end(), kInf);
+    // With j+1 buckets, the last bucket starts at entry a >= j (each earlier
+    // bucket needs at least one entry).
+    for (std::size_t b = j; b < d; ++b) {
+      double best = kInf;
+      std::uint32_t best_a = static_cast<std::uint32_t>(j);
+      for (std::size_t a = j; a <= b; ++a) {
+        const double candidate = dp_prev[a - 1] + cost(a, b);
+        if (candidate < best) {
+          best = candidate;
+          best_a = static_cast<std::uint32_t>(a);
+        }
+      }
+      dp_cur[b] = best;
+      parent[j * d + b] = best_a;
+    }
+    std::swap(dp_prev, dp_cur);
+  }
+
+  // Reconstruct the slice boundaries from the parent pointers.
+  std::vector<internal::BucketSlice> slices(nb);
+  std::size_t b = d - 1;
+  for (std::size_t j = nb; j-- > 0;) {
+    const std::size_t a = parent[j * d + b];
+    slices[j] = {a, b, false};
+    DH_CHECK(j == 0 ? (a == 0) : (a >= 1));
+    if (j > 0) b = a - 1;
+  }
+  return internal::ModelFromSlices(entries, slices);
+}
+
+HistogramModel BuildVOptimal(const std::vector<ValueFreq>& entries,
+                             std::int64_t buckets) {
+  return BuildDeviationOptimal(entries, buckets, DeviationPolicy::kSquared);
+}
+
+HistogramModel BuildSado(const std::vector<ValueFreq>& entries,
+                         std::int64_t buckets) {
+  return BuildDeviationOptimal(entries, buckets, DeviationPolicy::kAbsolute);
+}
+
+HistogramModel BuildVOptimal(const FrequencyVector& data,
+                             std::int64_t buckets) {
+  return BuildVOptimal(data.NonZeroEntries(), buckets);
+}
+
+HistogramModel BuildSado(const FrequencyVector& data, std::int64_t buckets) {
+  return BuildSado(data.NonZeroEntries(), buckets);
+}
+
+double TotalDeviation(const std::vector<ValueFreq>& entries,
+                      const HistogramModel& model, DeviationPolicy policy) {
+  // Evaluate Eq. (3)/(5) directly: for every bucket, compare the frequency
+  // of each domain value in its extent (0 for absent values) against the
+  // bucket's average frequency per value.
+  double total = 0.0;
+  std::size_t i = 0;
+  for (std::size_t b = 0; b < model.NumBuckets(); ++b) {
+    const std::vector<HistogramModel::Piece> pieces = model.BucketPieces(b);
+    const double left = pieces.front().left;
+    const double right = pieces.back().right;
+    const double width = right - left;
+    const double count = model.BucketCount(b);
+    const double avg = count / width;
+    double nonzero = 0.0;
+    while (i < entries.size() &&
+           static_cast<double>(entries[i].value) < right) {
+      DH_CHECK(static_cast<double>(entries[i].value) >= left);
+      const double dev = entries[i].freq - avg;
+      total += policy == DeviationPolicy::kSquared ? dev * dev
+                                                   : std::fabs(dev);
+      nonzero += 1.0;
+      ++i;
+    }
+    const double zeros = width - nonzero;
+    total += policy == DeviationPolicy::kSquared ? zeros * avg * avg
+                                                 : zeros * avg;
+  }
+  DH_CHECK(i == entries.size());
+  return total;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,253 @@
+#include "src/histogram2d/dynamic_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/math.h"
+
+namespace dynhist {
+
+namespace {
+
+// Uniformly spaced integer borders from 0 to `domain` (inclusive ends).
+std::vector<double> UniformBorders(std::int64_t domain,
+                                   std::int64_t intervals) {
+  std::vector<double> borders(static_cast<std::size_t>(intervals) + 1);
+  for (std::int64_t i = 0; i <= intervals; ++i) {
+    borders[static_cast<std::size_t>(i)] = std::round(
+        static_cast<double>(domain) * static_cast<double>(i) /
+        static_cast<double>(intervals));
+  }
+  // Guarantee strictly increasing integer borders even for tiny domains.
+  for (std::size_t i = 1; i < borders.size(); ++i) {
+    borders[i] = std::max(borders[i], borders[i - 1] + 1.0);
+  }
+  return borders;
+}
+
+}  // namespace
+
+DynamicGrid2DHistogram::DynamicGrid2DHistogram(
+    const DynamicGrid2DConfig& config)
+    : config_(config) {
+  DH_CHECK(config.cols >= 2 && config.rows >= 2);
+  DH_CHECK(config.domain_x >= config.cols);
+  DH_CHECK(config.domain_y >= config.rows);
+  DH_CHECK(config.alpha_min >= 0.0 && config.alpha_min <= 1.0);
+  xs_ = UniformBorders(config.domain_x, config.cols);
+  ys_ = UniformBorders(config.domain_y, config.rows);
+  cells_.assign(
+      static_cast<std::size_t>(config.rows * config.cols), 0.0);
+  col_mass_.assign(static_cast<std::size_t>(config.cols), 0.0);
+  row_mass_.assign(static_cast<std::size_t>(config.rows), 0.0);
+}
+
+std::size_t DynamicGrid2DHistogram::FindInterval(
+    const std::vector<double>& borders, double value) const {
+  // Largest interval whose left border does not exceed the value.
+  const auto it =
+      std::upper_bound(borders.begin() + 1, borders.end() - 1, value);
+  return static_cast<std::size_t>(it - borders.begin()) - 1;
+}
+
+void DynamicGrid2DHistogram::AddToCell(std::size_t row, std::size_t col,
+                                       double delta) {
+  double& c = CellAt(row, col);
+  if (delta < -c) delta = -c;  // clamp fractional remainders, as in 1-D DC
+  c += delta;
+  total_ += delta;
+  double& cm = col_mass_[col];
+  col_sum_sq_ += (cm + delta) * (cm + delta) - cm * cm;
+  cm += delta;
+  double& rm = row_mass_[row];
+  row_sum_sq_ += (rm + delta) * (rm + delta) - rm * rm;
+  rm += delta;
+}
+
+bool DynamicGrid2DHistogram::ChiSquareTriggered() const {
+  if (config_.alpha_min <= 0.0) return false;
+  if (total_ <= 0.0) return false;
+  if (updates_since_repartition_ < config_.repartition_cooldown) {
+    return false;
+  }
+  const auto test = [&](double sum_sq, double k) {
+    const double mean = total_ / k;
+    const double chi2 =
+        std::max(0.0, sum_sq - total_ * total_ / k) / mean;
+    return ChiSquareProbability(chi2, k - 1.0) <= config_.alpha_min;
+  };
+  return test(col_sum_sq_, static_cast<double>(config_.cols)) ||
+         test(row_sum_sq_, static_cast<double>(config_.rows));
+}
+
+void DynamicGrid2DHistogram::Insert(std::int64_t x, std::int64_t y) {
+  DH_CHECK(x >= 0 && x < config_.domain_x);
+  DH_CHECK(y >= 0 && y < config_.domain_y);
+  const std::size_t col = FindInterval(xs_, static_cast<double>(x));
+  const std::size_t row = FindInterval(ys_, static_cast<double>(y));
+  AddToCell(row, col, +1.0);
+  ++updates_since_repartition_;
+  if (ChiSquareTriggered()) Repartition();
+}
+
+void DynamicGrid2DHistogram::Delete(std::int64_t x, std::int64_t y) {
+  DH_CHECK(x >= 0 && x < config_.domain_x);
+  DH_CHECK(y >= 0 && y < config_.domain_y);
+  std::size_t col = FindInterval(xs_, static_cast<double>(x));
+  std::size_t row = FindInterval(ys_, static_cast<double>(y));
+  if (CellAt(row, col) < 1.0) {
+    // Spill to the closest cell with a whole point of mass (the 2-D
+    // analogue of the 1-D closest-bucket policy, §7.3), by grid distance.
+    std::size_t best_row = row, best_col = col;
+    double best_distance = -1.0;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(config_.rows);
+         ++r) {
+      for (std::size_t c = 0; c < static_cast<std::size_t>(config_.cols);
+           ++c) {
+        if (CellAt(r, c) < 1.0) continue;
+        const double dr = static_cast<double>(r) - static_cast<double>(row);
+        const double dc = static_cast<double>(c) - static_cast<double>(col);
+        const double distance = dr * dr + dc * dc;
+        if (best_distance < 0.0 || distance < best_distance) {
+          best_distance = distance;
+          best_row = r;
+          best_col = c;
+        }
+      }
+    }
+    row = best_row;
+    col = best_col;
+  }
+  AddToCell(row, col, -1.0);
+  ++updates_since_repartition_;
+  if (ChiSquareTriggered()) Repartition();
+}
+
+std::vector<double> DynamicGrid2DHistogram::EqualizeBorders(
+    const std::vector<double>& borders, const std::vector<double>& masses,
+    std::int64_t intervals) const {
+  // Piecewise-linear CDF over the old intervals, inverted at equal-mass
+  // quantiles and snapped to integers (the 1-D DC respecification).
+  double mass_total = 0.0;
+  for (const double m : masses) mass_total += m;
+  std::vector<double> fresh;
+  fresh.reserve(static_cast<std::size_t>(intervals) + 1);
+  fresh.push_back(borders.front());
+  if (mass_total <= 0.0) {
+    return UniformBorders(
+        static_cast<std::int64_t>(borders.back() - borders.front()),
+        intervals);
+  }
+  double acc = 0.0;
+  std::size_t piece = 0;
+  for (std::int64_t j = 1; j < intervals; ++j) {
+    const double target = mass_total * static_cast<double>(j) /
+                          static_cast<double>(intervals);
+    while (piece + 1 < masses.size() && acc + masses[piece] < target) {
+      acc += masses[piece];
+      ++piece;
+    }
+    const double within = target - acc;
+    const double width = borders[piece + 1] - borders[piece];
+    const double x =
+        masses[piece] > 0.0
+            ? borders[piece] + width * within / masses[piece]
+            : borders[piece];
+    const double lo = fresh.back() + 1.0;
+    const double hi =
+        borders.back() - static_cast<double>(intervals - j);
+    fresh.push_back(std::clamp(std::round(x), lo, hi));
+  }
+  fresh.push_back(borders.back());
+  return fresh;
+}
+
+void DynamicGrid2DHistogram::Repartition() {
+  ++repartitions_;
+  updates_since_repartition_ = 0;
+  const auto cols = static_cast<std::size_t>(config_.cols);
+  const auto rows = static_cast<std::size_t>(config_.rows);
+
+  const std::vector<double> new_xs =
+      EqualizeBorders(xs_, col_mass_, config_.cols);
+  const std::vector<double> new_ys =
+      EqualizeBorders(ys_, row_mass_, config_.rows);
+
+  // Re-bin: each old cell's mass is uniform over its rectangle; distribute
+  // to new cells by area overlap.
+  std::vector<double> fresh(cells_.size(), 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double mass = CellAt(r, c);
+      if (mass <= 0.0) continue;
+      const double x0 = xs_[c], x1 = xs_[c + 1];
+      const double y0 = ys_[r], y1 = ys_[r + 1];
+      const double area = (x1 - x0) * (y1 - y0);
+      // New cells overlapping [x0,x1) x [y0,y1).
+      const std::size_t c_first = FindInterval(new_xs, x0);
+      const std::size_t r_first = FindInterval(new_ys, y0);
+      for (std::size_t nr = r_first;
+           nr < rows && new_ys[nr] < y1; ++nr) {
+        const double oy = std::min(y1, new_ys[nr + 1]) -
+                          std::max(y0, new_ys[nr]);
+        if (oy <= 0.0) continue;
+        for (std::size_t nc = c_first;
+             nc < cols && new_xs[nc] < x1; ++nc) {
+          const double ox = std::min(x1, new_xs[nc + 1]) -
+                            std::max(x0, new_xs[nc]);
+          if (ox <= 0.0) continue;
+          fresh[nr * cols + nc] += mass * (ox * oy) / area;
+        }
+      }
+    }
+  }
+  xs_ = new_xs;
+  ys_ = new_ys;
+  cells_ = std::move(fresh);
+  RebuildMarginals();
+}
+
+void DynamicGrid2DHistogram::RebuildMarginals() {
+  const auto cols = static_cast<std::size_t>(config_.cols);
+  const auto rows = static_cast<std::size_t>(config_.rows);
+  col_mass_.assign(cols, 0.0);
+  row_mass_.assign(rows, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      col_mass_[c] += CellAt(r, c);
+      row_mass_[r] += CellAt(r, c);
+    }
+  }
+  col_sum_sq_ = 0.0;
+  for (const double m : col_mass_) col_sum_sq_ += m * m;
+  row_sum_sq_ = 0.0;
+  for (const double m : row_mass_) row_sum_sq_ += m * m;
+}
+
+double DynamicGrid2DHistogram::EstimateRectangle(std::int64_t x_lo,
+                                                 std::int64_t x_hi,
+                                                 std::int64_t y_lo,
+                                                 std::int64_t y_hi) const {
+  if (x_hi < x_lo || y_hi < y_lo) return 0.0;
+  // Integer cell convention as in 1-D: value v occupies [v, v+1).
+  const double qx0 = static_cast<double>(x_lo);
+  const double qx1 = static_cast<double>(x_hi) + 1.0;
+  const double qy0 = static_cast<double>(y_lo);
+  const double qy1 = static_cast<double>(y_hi) + 1.0;
+  double estimate = 0.0;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(config_.rows); ++r) {
+    const double oy = std::min(qy1, ys_[r + 1]) - std::max(qy0, ys_[r]);
+    if (oy <= 0.0) continue;
+    for (std::size_t c = 0; c < static_cast<std::size_t>(config_.cols);
+         ++c) {
+      const double ox = std::min(qx1, xs_[c + 1]) - std::max(qx0, xs_[c]);
+      if (ox <= 0.0) continue;
+      const double area = (xs_[c + 1] - xs_[c]) * (ys_[r + 1] - ys_[r]);
+      estimate += CellAt(r, c) * (ox * oy) / area;
+    }
+  }
+  return estimate;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,112 @@
+// Two-dimensional dynamic histogram — the paper's stated future work.
+//
+// §9: "The most important direction of our future work is the extension of
+// the DC and DADO algorithms to more than one dimension." This module
+// prototypes that extension for the DC family: a rows x cols grid of
+// buckets whose x- and y-borders are maintained incrementally. As in 1-D
+// DC (§3), the equi-depth partition constraint — here applied to the grid's
+// row and column marginals — is relaxed between reorganizations, and a
+// chi-square test over the cell counts decides when the borders must be
+// respecified. Repartitioning re-places the x-borders so the column
+// marginals equalize and the y-borders so the row marginals equalize
+// (computed from the current piecewise-uniform approximation, exactly like
+// the 1-D border respecification), then re-bins the cell counts by
+// rectangle overlap.
+//
+// Estimation answers 2-D range (rectangle) predicates under the uniform
+// assumption within each cell.
+
+#ifndef DYNHIST_HISTOGRAM2D_DYNAMIC_GRID_H_
+#define DYNHIST_HISTOGRAM2D_DYNAMIC_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dynhist {
+
+/// Configuration of the 2-D dynamic grid histogram.
+struct DynamicGrid2DConfig {
+  /// Attribute domains: x in [0, domain_x), y in [0, domain_y).
+  std::int64_t domain_x = 1'024;
+  std::int64_t domain_y = 1'024;
+  /// Bucket grid dimensions (rows along y, columns along x). Space cost is
+  /// (cols+1) + (rows+1) borders plus rows*cols counters.
+  std::int64_t cols = 8;
+  std::int64_t rows = 8;
+  /// Chi-square significance threshold, as in 1-D DC (§3).
+  double alpha_min = 1e-6;
+  /// Minimum updates between repartitions. Integer border snapping leaves
+  /// a small residual marginal imbalance that a large-N chi-square flags
+  /// immediately; the cooldown makes *new drift*, not snapping residue,
+  /// the trigger, and bounds the mass-smearing that repeated re-binning
+  /// under the uniform assumption would cause. 0 disables the cooldown.
+  std::int64_t repartition_cooldown = 256;
+};
+
+/// Incrementally maintained 2-D grid histogram (DC-style).
+class DynamicGrid2DHistogram {
+ public:
+  explicit DynamicGrid2DHistogram(const DynamicGrid2DConfig& config);
+
+  /// Records the insertion of one tuple with attributes (x, y).
+  void Insert(std::int64_t x, std::int64_t y);
+
+  /// Records the deletion of one tuple with attributes (x, y).
+  void Delete(std::int64_t x, std::int64_t y);
+
+  /// Estimated number of tuples with x in [x_lo, x_hi] and y in
+  /// [y_lo, y_hi] (inclusive integer rectangle).
+  double EstimateRectangle(std::int64_t x_lo, std::int64_t x_hi,
+                           std::int64_t y_lo, std::int64_t y_hi) const;
+
+  double TotalCount() const { return total_; }
+  std::int64_t RepartitionCount() const { return repartitions_; }
+
+  /// Current borders (exposed for tests; xs has cols+1 entries, ys rows+1).
+  const std::vector<double>& XBorders() const { return xs_; }
+  const std::vector<double>& YBorders() const { return ys_; }
+
+ private:
+  double& CellAt(std::size_t row, std::size_t col) {
+    return cells_[row * static_cast<std::size_t>(config_.cols) + col];
+  }
+  double CellAt(std::size_t row, std::size_t col) const {
+    return cells_[row * static_cast<std::size_t>(config_.cols) + col];
+  }
+
+  std::size_t FindInterval(const std::vector<double>& borders,
+                           double value) const;
+  void AddToCell(std::size_t row, std::size_t col, double delta);
+  // The 2-D relaxation of the partition constraint applies to the row and
+  // column *marginals* (a grid with product borders cannot make the joint
+  // cell counts uniform under correlated data, so testing cells would
+  // reject the null on every update). Repartition when either marginal's
+  // chi-square significance drops to alpha_min.
+  bool ChiSquareTriggered() const;
+  void Repartition();
+  void RebuildMarginals();
+
+  // Equalizing border respecification for one axis: given per-interval
+  // masses over the old `borders`, returns new integer borders with the
+  // same end points whose intervals carry (approximately) equal mass.
+  std::vector<double> EqualizeBorders(const std::vector<double>& borders,
+                                      const std::vector<double>& masses,
+                                      std::int64_t intervals) const;
+
+  DynamicGrid2DConfig config_;
+  std::vector<double> xs_;     // cols + 1 ascending borders
+  std::vector<double> ys_;     // rows + 1 ascending borders
+  std::vector<double> cells_;  // rows * cols counts
+  double total_ = 0.0;
+  // Incremental chi-square state over the row and column marginals.
+  std::vector<double> col_mass_;
+  std::vector<double> row_mass_;
+  double col_sum_sq_ = 0.0;
+  double row_sum_sq_ = 0.0;
+  std::int64_t repartitions_ = 0;
+  std::int64_t updates_since_repartition_ = 0;
+};
+
+}  // namespace dynhist
+
+#endif  // DYNHIST_HISTOGRAM2D_DYNAMIC_GRID_H_

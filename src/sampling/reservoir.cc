@@ -1,0 +1,76 @@
+#include "src/sampling/reservoir.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  DH_CHECK(capacity >= 1);
+  values_.reserve(capacity);
+}
+
+bool ReservoirSample::Insert(std::int64_t value) {
+  ++relation_size_;
+  ++inserts_seen_;
+  bool changed = false;
+  if (values_.size() < capacity_) {
+    // Filling phase (also refills a sample shrunk by deletions; [10]
+    // rebuilds by rescanning the relation, which a pure stream cannot do —
+    // new arrivals stand in for the rescan).
+    changed = true;
+  } else {
+    // Algorithm R: the i-th insert is sampled with probability cap/i.
+    const auto i = static_cast<std::uint64_t>(inserts_seen_);
+    if (rng_.UniformInt(i) < capacity_) {
+      // Evict a uniformly random resident.
+      const std::size_t victim =
+          static_cast<std::size_t>(rng_.UniformInt(values_.size()));
+      values_.erase(values_.begin() + static_cast<std::ptrdiff_t>(victim));
+      changed = true;
+    }
+  }
+  if (changed) {
+    values_.insert(std::upper_bound(values_.begin(), values_.end(), value),
+                   value);
+  }
+  return changed;
+}
+
+bool ReservoirSample::Delete(std::int64_t value,
+                             std::int64_t live_copies_before) {
+  DH_CHECK(live_copies_before >= 1);
+  --relation_size_;
+  const auto [lo, hi] = std::equal_range(values_.begin(), values_.end(),
+                                         value);
+  const auto resident = static_cast<std::int64_t>(hi - lo);
+  if (resident == 0) return false;
+  // The deleted tuple is one specific tuple among live_copies_before copies
+  // of this value; it is resident with probability resident / live_copies.
+  const double p = static_cast<double>(resident) /
+                   static_cast<double>(live_copies_before);
+  if (!rng_.Bernoulli(p)) return false;
+  values_.erase(lo);
+  return true;
+}
+
+std::int64_t ReservoirSample::CountOf(std::int64_t value) const {
+  const auto [lo, hi] = std::equal_range(values_.begin(), values_.end(),
+                                         value);
+  return static_cast<std::int64_t>(hi - lo);
+}
+
+std::vector<ValueFreq> ReservoirSample::Entries() const {
+  std::vector<ValueFreq> entries;
+  for (std::size_t i = 0; i < values_.size();) {
+    std::size_t j = i;
+    while (j < values_.size() && values_[j] == values_[i]) ++j;
+    entries.push_back({values_[i], static_cast<double>(j - i)});
+    i = j;
+  }
+  return entries;
+}
+
+}  // namespace dynhist

@@ -1,0 +1,91 @@
+#include "src/cluster/birch1d.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/cluster_generator.h"
+#include "src/data/update_stream.h"
+#include "src/histogram/budget.h"
+#include "src/histogram/driver.h"
+#include "src/histogram/dynamic_vopt.h"
+#include "src/metrics/ks.h"
+#include "tests/test_util.h"
+
+namespace dynhist {
+namespace {
+
+TEST(BirchBudgetTest, ThreeWordsPerCluster) {
+  EXPECT_EQ(BirchClusterBudget(1'024.0), 85);
+  EXPECT_EQ(BirchClusterBudget(12.0), 1);
+}
+
+TEST(Birch1DTest, InsertsAccumulate) {
+  Birch1DHistogram h({.max_clusters = 8});
+  for (int i = 0; i < 100; ++i) h.Insert(i % 10);
+  EXPECT_DOUBLE_EQ(h.TotalCount(), 100.0);
+  EXPECT_LE(static_cast<std::int64_t>(h.ClusterCount()), 8);
+}
+
+TEST(Birch1DTest, ClusterBudgetEnforcedUnderSpread) {
+  Birch1DHistogram h({.max_clusters = 6, .initial_threshold = 0.5});
+  Rng rng(1);
+  for (int i = 0; i < 5'000; ++i) h.Insert(rng.UniformInt(0, 999));
+  EXPECT_LE(static_cast<std::int64_t>(h.ClusterCount()), 6);
+  // The threshold must have grown through rebuilds.
+  EXPECT_GT(h.CurrentThreshold(), 0.5);
+}
+
+TEST(Birch1DTest, ModelIsValidAndMassPreserving) {
+  Birch1DHistogram h({.max_clusters = 12});
+  Rng rng(2);
+  for (int i = 0; i < 2'000; ++i) {
+    h.Insert(rng.Bernoulli(0.5) ? rng.UniformInt(100, 120)
+                                : rng.UniformInt(500, 900));
+  }
+  const auto model = h.Model();
+  EXPECT_TRUE(testing::ModelIsValid(model));
+  EXPECT_NEAR(model.TotalCount(), 2'000.0, 1e-6);
+}
+
+TEST(Birch1DTest, DeletesReduceMass) {
+  Birch1DHistogram h({.max_clusters = 4});
+  for (int i = 0; i < 10; ++i) h.Insert(50);
+  for (int i = 0; i < 4; ++i) h.Delete(50, 10 - i);
+  EXPECT_DOUBLE_EQ(h.TotalCount(), 6.0);
+}
+
+TEST(Birch1DTest, SeparatedClustersAreFound) {
+  Birch1DHistogram h({.max_clusters = 8, .initial_threshold = 5.0});
+  Rng rng(3);
+  for (int i = 0; i < 3'000; ++i) {
+    const std::int64_t center = (i % 3 == 0) ? 100 : (i % 3 == 1) ? 500 : 900;
+    h.Insert(center + rng.UniformInt(-3, 3));
+  }
+  // Three well-separated modes -> at least three clusters survive.
+  EXPECT_GE(h.ClusterCount(), 3u);
+}
+
+TEST(Birch1DTest, LosesToDadoAtEqualMemory) {
+  // §2: "the best histograms indeed significantly outperformed Birch."
+  ClusterDataConfig config;
+  config.num_points = 30'000;
+  config.domain_size = 2'001;
+  config.num_clusters = 200;
+  config.size_skew_z = 1.0;
+  config.seed = 4;
+  Rng rng(5);
+  const auto stream =
+      MakeRandomInsertStream(GenerateClusterData(config), rng);
+
+  const double memory = 512.0;
+  Birch1DHistogram birch({.max_clusters = BirchClusterBudget(memory)});
+  DynamicVOptHistogram dado(
+      {.buckets = BucketBudget(memory, BucketLayout::kBorderTwoCounts),
+       .policy = DeviationPolicy::kAbsolute});
+  FrequencyVector t1(config.domain_size), t2(config.domain_size);
+  Replay(stream, &birch, &t1);
+  Replay(stream, &dado, &t2);
+  EXPECT_LT(KsStatistic(t2, dado.Model()), KsStatistic(t1, birch.Model()));
+}
+
+}  // namespace
+}  // namespace dynhist

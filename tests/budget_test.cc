@@ -1,0 +1,49 @@
+#include "src/histogram/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace dynhist {
+namespace {
+
+TEST(BudgetTest, PaperOneKilobyteValues) {
+  // §3.1/§4.4 with 4-byte fields: 1 KB holds 127 border+count buckets but
+  // only 85 two-counter buckets.
+  EXPECT_EQ(BucketBudget(1024.0, BucketLayout::kBorderCount), 127);
+  EXPECT_EQ(BucketBudget(1024.0, BucketLayout::kBorderTwoCounts), 85);
+}
+
+TEST(BudgetTest, RoundTripsThroughMemoryBytesFor) {
+  for (const auto layout :
+       {BucketLayout::kBorderCount, BucketLayout::kBorderTwoCounts}) {
+    for (std::int64_t n = 1; n <= 200; n += 13) {
+      const double bytes = MemoryBytesFor(n, layout);
+      EXPECT_EQ(BucketBudget(bytes, layout), n);
+      // One word less no longer fits n buckets (except at the floor of 1).
+      if (n > 1) {
+        EXPECT_LT(BucketBudget(bytes - kBytesPerWord, layout), n);
+      }
+    }
+  }
+}
+
+TEST(BudgetTest, NeverReturnsLessThanOneBucket) {
+  EXPECT_EQ(BucketBudget(1.0, BucketLayout::kBorderCount), 1);
+  EXPECT_EQ(BucketBudget(1.0, BucketLayout::kBorderTwoCounts), 1);
+}
+
+TEST(BudgetTest, TwoCounterLayoutIsMoreExpensive) {
+  for (double memory = 64.0; memory <= 4096.0; memory *= 2.0) {
+    EXPECT_LT(BucketBudget(memory, BucketLayout::kBorderTwoCounts),
+              BucketBudget(memory, BucketLayout::kBorderCount));
+  }
+}
+
+TEST(BudgetTest, PaperStaticComparisonMemory) {
+  // Figs. 9-12 use M = 0.14 KB.
+  const double memory = 0.14 * 1024.0;
+  EXPECT_EQ(BucketBudget(memory, BucketLayout::kBorderCount), 17);
+  EXPECT_EQ(BucketBudget(memory, BucketLayout::kBorderTwoCounts), 11);
+}
+
+}  // namespace
+}  // namespace dynhist

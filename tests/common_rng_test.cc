@@ -1,0 +1,100 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dynhist {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next64() == b.Next64()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+    const std::int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.UniformInt(kBuckets)] += 1;
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  constexpr int kDraws = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(9);
+  constexpr int kDraws = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Normal(100.0, 5.0);
+  EXPECT_NEAR(sum / kDraws, 100.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(13);
+  constexpr int kDraws = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace dynhist

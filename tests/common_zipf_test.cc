@@ -1,0 +1,77 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace dynhist {
+namespace {
+
+TEST(ZipfWeightsTest, NormalizedAndDescending) {
+  for (const double z : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    const auto w = ZipfWeights(50, z);
+    EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+    for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+  }
+}
+
+TEST(ZipfWeightsTest, ZeroSkewIsUniform) {
+  const auto w = ZipfWeights(10, 0.0);
+  for (const double wi : w) EXPECT_NEAR(wi, 0.1, 1e-12);
+}
+
+TEST(ZipfWeightsTest, RatioMatchesLaw) {
+  const auto w = ZipfWeights(10, 1.0);
+  // Zipf(1): weight_i / weight_j = j / i.
+  EXPECT_NEAR(w[0] / w[1], 2.0, 1e-9);
+  EXPECT_NEAR(w[1] / w[3], 2.0, 1e-9);
+}
+
+TEST(ZipfSharesTest, SumsExactlyToTotal) {
+  for (const double z : {0.0, 1.0, 2.5}) {
+    for (const std::int64_t total : {0LL, 7LL, 100LL, 99'999LL}) {
+      const auto shares = ZipfShares(total, 13, z);
+      EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), std::int64_t{0}),
+                total);
+    }
+  }
+}
+
+TEST(ZipfSharesTest, HighSkewConcentratesMass) {
+  const auto shares = ZipfShares(10'000, 100, 3.0);
+  EXPECT_GT(shares[0], 8'000);  // zeta(3) ~ 1.202 => rank 1 holds ~83%
+}
+
+TEST(ZipfSharesTest, SharesNonNegativeAndOrdered) {
+  const auto shares = ZipfShares(1'000, 64, 1.5);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    EXPECT_GE(shares[i], 0);
+    // Largest-remainder rounding can perturb order by at most one unit.
+    if (i > 0) {
+      EXPECT_LE(shares[i], shares[i - 1] + 1);
+    }
+  }
+}
+
+TEST(ZipfDistributionTest, SampleFrequenciesMatchWeights) {
+  ZipfDistribution dist(20, 1.0);
+  Rng rng(23);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kDraws; ++i) counts[dist.Sample(rng)] += 1;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expected = dist.Probability(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfDistributionTest, SingleRank) {
+  ZipfDistribution dist(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace dynhist

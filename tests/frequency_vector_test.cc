@@ -1,0 +1,107 @@
+#include "src/data/frequency_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dynhist {
+namespace {
+
+TEST(FrequencyVectorTest, StartsEmpty) {
+  FrequencyVector data(100);
+  EXPECT_EQ(data.TotalCount(), 0);
+  EXPECT_EQ(data.DistinctCount(), 0);
+  EXPECT_EQ(data.CumulativeCount(99), 0);
+}
+
+TEST(FrequencyVectorTest, InsertAndCount) {
+  FrequencyVector data(10);
+  data.Insert(3);
+  data.Insert(3);
+  data.Insert(7);
+  EXPECT_EQ(data.Count(3), 2);
+  EXPECT_EQ(data.Count(7), 1);
+  EXPECT_EQ(data.Count(5), 0);
+  EXPECT_EQ(data.TotalCount(), 3);
+  EXPECT_EQ(data.DistinctCount(), 2);
+}
+
+TEST(FrequencyVectorTest, DeleteReversesInsert) {
+  FrequencyVector data(10);
+  data.Insert(4);
+  data.Insert(4);
+  data.Delete(4);
+  EXPECT_EQ(data.Count(4), 1);
+  EXPECT_EQ(data.DistinctCount(), 1);
+  data.Delete(4);
+  EXPECT_EQ(data.Count(4), 0);
+  EXPECT_EQ(data.DistinctCount(), 0);
+  EXPECT_EQ(data.TotalCount(), 0);
+}
+
+TEST(FrequencyVectorTest, MinMaxValues) {
+  const FrequencyVector data = testing::MakeData(100, {42, 5, 99, 5});
+  EXPECT_EQ(data.MinValue(), 5);
+  EXPECT_EQ(data.MaxValue(), 99);
+}
+
+TEST(FrequencyVectorTest, CumulativeCountIsAStepCdf) {
+  const FrequencyVector data = testing::MakeData(20, {2, 2, 5, 9});
+  EXPECT_EQ(data.CumulativeCount(-1), 0);
+  EXPECT_EQ(data.CumulativeCount(1), 0);
+  EXPECT_EQ(data.CumulativeCount(2), 2);
+  EXPECT_EQ(data.CumulativeCount(4), 2);
+  EXPECT_EQ(data.CumulativeCount(5), 3);
+  EXPECT_EQ(data.CumulativeCount(9), 4);
+  EXPECT_EQ(data.CumulativeCount(100), 4);
+}
+
+TEST(FrequencyVectorTest, CumulativeCountValidAfterUpdates) {
+  FrequencyVector data(20);
+  data.Insert(5);
+  EXPECT_EQ(data.CumulativeCount(10), 1);
+  data.Insert(3);  // invalidates the cached prefix
+  EXPECT_EQ(data.CumulativeCount(4), 1);
+  data.Delete(5);
+  EXPECT_EQ(data.CumulativeCount(10), 1);
+  EXPECT_EQ(data.CumulativeCount(3), 1);
+}
+
+TEST(FrequencyVectorTest, RangeCount) {
+  const FrequencyVector data = testing::MakeData(20, {2, 2, 5, 9, 15});
+  EXPECT_EQ(data.RangeCount(2, 9), 4);
+  EXPECT_EQ(data.RangeCount(3, 4), 0);
+  EXPECT_EQ(data.RangeCount(0, 19), 5);
+  EXPECT_EQ(data.RangeCount(9, 2), 0);  // inverted range is empty
+}
+
+TEST(FrequencyVectorTest, NonZeroEntriesAscending) {
+  const FrequencyVector data = testing::MakeData(20, {9, 2, 2, 15});
+  const auto entries = data.NonZeroEntries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].value, 2);
+  EXPECT_DOUBLE_EQ(entries[0].freq, 2.0);
+  EXPECT_EQ(entries[1].value, 9);
+  EXPECT_EQ(entries[2].value, 15);
+}
+
+TEST(FrequencyVectorTest, ConstructFromValues) {
+  const FrequencyVector data(10, {1, 1, 1, 8});
+  EXPECT_EQ(data.Count(1), 3);
+  EXPECT_EQ(data.Count(8), 1);
+  EXPECT_EQ(data.TotalCount(), 4);
+}
+
+TEST(FrequencyVectorDeathTest, RejectsOutOfDomain) {
+  FrequencyVector data(10);
+  EXPECT_DEATH(data.Insert(10), "DH_CHECK");
+  EXPECT_DEATH(data.Insert(-1), "DH_CHECK");
+}
+
+TEST(FrequencyVectorDeathTest, RejectsDeleteOfAbsentValue) {
+  FrequencyVector data(10);
+  EXPECT_DEATH(data.Delete(3), "DH_CHECK");
+}
+
+}  // namespace
+}  // namespace dynhist

@@ -1,0 +1,101 @@
+#include "src/metrics/ks.h"
+
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "src/histogram/static_equi.h"
+#include "tests/test_util.h"
+
+namespace dynhist {
+namespace {
+
+TEST(KsTest, ExactModelHasZeroError) {
+  const FrequencyVector data = testing::MakeData(20, {2, 2, 5, 9, 9, 9});
+  // Singleton pieces reproduce the distribution exactly under the
+  // continuous-value convention.
+  const auto model = HistogramModel::FromSimpleBuckets(
+      {{2, 3, 2.0}, {5, 6, 1.0}, {9, 10, 3.0}});
+  EXPECT_NEAR(KsStatistic(data, model), 0.0, 1e-12);
+}
+
+TEST(KsTest, EmptyVsEmptyIsZero) {
+  const FrequencyVector data(10);
+  EXPECT_DOUBLE_EQ(KsStatistic(data, HistogramModel()), 0.0);
+}
+
+TEST(KsTest, EmptyModelAgainstDataIsOne) {
+  const FrequencyVector data = testing::MakeData(10, {1});
+  EXPECT_DOUBLE_EQ(KsStatistic(data, HistogramModel()), 1.0);
+}
+
+TEST(KsTest, DisjointSupportIsOne) {
+  const FrequencyVector data = testing::MakeData(100, {1, 1, 1});
+  const auto model = HistogramModel::FromSimpleBuckets({{90, 91, 3.0}});
+  EXPECT_NEAR(KsStatistic(data, model), 1.0, 1e-12);
+}
+
+TEST(KsTest, HandComputedDeviation) {
+  // Data: 10 points at value 0, none at 1..9. Model: 10 points uniform on
+  // [0, 10). Truth CDF reaches 1 at x=1; model CDF is x/10 there.
+  // Max deviation = 1 - 1/10 = 0.9 at x = 1.
+  FrequencyVector data(10);
+  for (int i = 0; i < 10; ++i) data.Insert(0);
+  const auto model = HistogramModel::FromSimpleBuckets({{0, 10, 10.0}});
+  EXPECT_NEAR(KsStatistic(data, model), 0.9, 1e-12);
+}
+
+TEST(KsTest, NormalizationIgnoresScale) {
+  // A model with doubled mass but identical shape has the same KS.
+  const FrequencyVector data = testing::MakeData(10, {2, 4});
+  const auto model1 =
+      HistogramModel::FromSimpleBuckets({{2, 3, 1.0}, {4, 5, 1.0}});
+  const auto model2 =
+      HistogramModel::FromSimpleBuckets({{2, 3, 2.0}, {4, 5, 2.0}});
+  EXPECT_NEAR(KsStatistic(data, model1), KsStatistic(data, model2), 1e-12);
+}
+
+TEST(KsTest, AlwaysWithinUnitInterval) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    FrequencyVector data(200);
+    for (int i = 0; i < 500; ++i) data.Insert(rng.UniformInt(0, 199));
+    const auto model = BuildEquiDepth(data, 8);
+    const double ks = KsStatistic(data, model);
+    EXPECT_GE(ks, 0.0);
+    EXPECT_LE(ks, 1.0);
+  }
+}
+
+TEST(KsTest, FinerHistogramIsNoWorse) {
+  Rng rng(32);
+  FrequencyVector data(500);
+  for (int i = 0; i < 2'000; ++i) {
+    data.Insert(rng.UniformInt(0, 99) + (rng.Bernoulli(0.5) ? 300 : 0));
+  }
+  const double coarse = KsStatistic(data, BuildEquiDepth(data, 4));
+  const double fine = KsStatistic(data, BuildEquiDepth(data, 64));
+  EXPECT_LE(fine, coarse + 1e-9);
+}
+
+TEST(KsBetweenModelsTest, IdenticalModelsAreZero) {
+  const auto model =
+      HistogramModel::FromSimpleBuckets({{0, 5, 3.0}, {5, 9, 1.0}});
+  EXPECT_DOUBLE_EQ(KsBetweenModels(model, model), 0.0);
+}
+
+TEST(KsBetweenModelsTest, ScaleInvariant) {
+  const auto a = HistogramModel::FromSimpleBuckets({{0, 4, 2.0}, {4, 8, 6.0}});
+  const auto b = HistogramModel::FromSimpleBuckets({{0, 4, 1.0}, {4, 8, 3.0}});
+  EXPECT_NEAR(KsBetweenModels(a, b), 0.0, 1e-12);
+}
+
+TEST(KsBetweenModelsTest, DetectsShapeDifference) {
+  const auto a = HistogramModel::FromSimpleBuckets({{0, 10, 10.0}});
+  const auto b = HistogramModel::FromSimpleBuckets({{0, 5, 10.0}});
+  // b's CDF reaches 1 at x=5 while a's is 0.5 there.
+  EXPECT_NEAR(KsBetweenModels(a, b), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace dynhist

@@ -1,0 +1,54 @@
+#include "src/data/mailorder_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/frequency_vector.h"
+
+namespace dynhist {
+namespace {
+
+TEST(MailOrderTest, RecordCountMatchesPaper) {
+  const auto records = MakeMailOrderData(0);
+  EXPECT_EQ(records.size(), 61'105u);
+}
+
+TEST(MailOrderTest, DomainIsDollarRange) {
+  const auto records = MakeMailOrderData(0);
+  for (const auto r : records) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, kMailOrderDomainSize);
+  }
+}
+
+TEST(MailOrderTest, DeterministicInSeed) {
+  EXPECT_EQ(MakeMailOrderData(3), MakeMailOrderData(3));
+  EXPECT_NE(MakeMailOrderData(3), MakeMailOrderData(4));
+}
+
+TEST(MailOrderTest, DistributionIsSpiky) {
+  // §7.4: the data is "very spiky" — individual price points dominate
+  // their neighborhoods. The top value should carry far more than a
+  // uniform share, and many distinct spikes should exist.
+  const FrequencyVector data(kMailOrderDomainSize, MakeMailOrderData(0));
+  std::int64_t max_count = 0;
+  std::int64_t spikes = 0;
+  const double uniform_share =
+      static_cast<double>(data.TotalCount()) /
+      static_cast<double>(data.DistinctCount());
+  for (const auto& e : data.NonZeroEntries()) {
+    max_count = std::max(max_count, static_cast<std::int64_t>(e.freq));
+    if (e.freq > 3.0 * uniform_share) ++spikes;
+  }
+  EXPECT_GT(max_count, data.TotalCount() / 50);
+  EXPECT_GT(spikes, 20);
+}
+
+TEST(MailOrderTest, MassConcentratedInCheapOrders) {
+  const FrequencyVector data(kMailOrderDomainSize, MakeMailOrderData(0));
+  // Most orders are small-dollar: the lower fifth of the domain should
+  // hold the majority of the mass.
+  EXPECT_GT(data.RangeCount(0, 100), data.TotalCount() / 2);
+}
+
+}  // namespace
+}  // namespace dynhist

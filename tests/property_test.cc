@@ -1,0 +1,173 @@
+// Parameterized property suites: invariants that must hold for every
+// histogram implementation across seeds and workload shapes (TEST_P
+// sweeps). These are the library's safety net against maintenance bugs
+// that single-example tests miss.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/dynhist.h"
+#include "tests/test_util.h"
+
+namespace dynhist {
+namespace {
+
+constexpr std::int64_t kDomain = 1'001;
+
+enum class Algo { kDc, kDvo, kDado, kAc, kBirch };
+
+std::string AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kDc:
+      return "DC";
+    case Algo::kDvo:
+      return "DVO";
+    case Algo::kDado:
+      return "DADO";
+    case Algo::kAc:
+      return "AC";
+    case Algo::kBirch:
+      return "Birch";
+  }
+  return "?";
+}
+
+std::unique_ptr<Histogram> MakeHistogram(Algo algo, std::uint64_t seed) {
+  constexpr double kMemory = 384.0;
+  switch (algo) {
+    case Algo::kDc:
+      return std::make_unique<DynamicCompressedHistogram>(
+          DynamicCompressedConfig{
+              .buckets = BucketBudget(kMemory, BucketLayout::kBorderCount)});
+    case Algo::kDvo:
+      return std::make_unique<DynamicVOptHistogram>(DynamicVOptConfig{
+          .buckets = BucketBudget(kMemory, BucketLayout::kBorderTwoCounts),
+          .policy = DeviationPolicy::kSquared});
+    case Algo::kDado:
+      return std::make_unique<DynamicVOptHistogram>(DynamicVOptConfig{
+          .buckets = BucketBudget(kMemory, BucketLayout::kBorderTwoCounts),
+          .policy = DeviationPolicy::kAbsolute});
+    case Algo::kAc:
+      return std::make_unique<ApproximateCompressedHistogram>(
+          MakeApproximateCompressedConfig(kMemory, 20.0, seed));
+    case Algo::kBirch:
+      return std::make_unique<Birch1DHistogram>(
+          Birch1DConfig{.max_clusters = BirchClusterBudget(kMemory)});
+  }
+  return nullptr;
+}
+
+enum class StreamShape { kRandom, kSorted, kMixed, kInsertDeleteWave };
+
+std::string ShapeName(StreamShape shape) {
+  switch (shape) {
+    case StreamShape::kRandom:
+      return "Random";
+    case StreamShape::kSorted:
+      return "Sorted";
+    case StreamShape::kMixed:
+      return "Mixed";
+    case StreamShape::kInsertDeleteWave:
+      return "Wave";
+  }
+  return "?";
+}
+
+UpdateStream MakeStream(StreamShape shape, std::uint64_t seed) {
+  ClusterDataConfig config;
+  config.num_points = 8'000;
+  config.domain_size = kDomain;
+  config.num_clusters = 60;
+  config.seed = seed;
+  auto values = GenerateClusterData(config);
+  Rng rng(seed + 1'000);
+  switch (shape) {
+    case StreamShape::kRandom:
+      return MakeRandomInsertStream(std::move(values), rng);
+    case StreamShape::kSorted:
+      return MakeSortedInsertStream(std::move(values));
+    case StreamShape::kMixed:
+      return MakeMixedStream(std::move(values), 0.25, rng);
+    case StreamShape::kInsertDeleteWave:
+      return MakeInsertsThenRandomDeletes(std::move(values), 0.7, rng);
+  }
+  return {};
+}
+
+class HistogramPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<Algo, StreamShape, std::uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramPropertyTest,
+    ::testing::Combine(::testing::Values(Algo::kDc, Algo::kDvo, Algo::kDado,
+                                         Algo::kAc, Algo::kBirch),
+                       ::testing::Values(StreamShape::kRandom,
+                                         StreamShape::kSorted,
+                                         StreamShape::kMixed,
+                                         StreamShape::kInsertDeleteWave),
+                       ::testing::Values(0u, 1u, 2u)),
+    [](const auto& info) {
+      return AlgoName(std::get<0>(info.param)) +
+             ShapeName(std::get<1>(info.param)) +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(HistogramPropertyTest, ModelStaysValidAndBounded) {
+  const auto [algo, shape, seed] = GetParam();
+  auto h = MakeHistogram(algo, seed);
+  FrequencyVector truth(kDomain);
+  const auto stream = MakeStream(shape, seed);
+  ReplayWithCheckpoints(
+      stream, h.get(), &truth, 8,
+      [&](double fraction, const Histogram& hist,
+          const FrequencyVector& data) {
+        const HistogramModel model = hist.Model();
+        EXPECT_TRUE(testing::ModelIsValid(model))
+            << hist.Name() << " at fraction " << fraction;
+        const double ks = KsStatistic(data, model);
+        EXPECT_GE(ks, 0.0);
+        EXPECT_LE(ks, 1.0);
+      });
+}
+
+TEST_P(HistogramPropertyTest, TotalCountTracksTruth) {
+  const auto [algo, shape, seed] = GetParam();
+  auto h = MakeHistogram(algo, seed);
+  FrequencyVector truth(kDomain);
+  Replay(MakeStream(shape, seed), h.get(), &truth);
+  // All implementations count every update exactly (AC/DC/DADO maintain an
+  // explicit N); allow a whisker for clamped deletions in degenerate runs.
+  EXPECT_NEAR(h->TotalCount(), static_cast<double>(truth.TotalCount()),
+              1.0 + 0.01 * static_cast<double>(truth.TotalCount()));
+}
+
+TEST_P(HistogramPropertyTest, FinalAccuracyIsReasonable) {
+  const auto [algo, shape, seed] = GetParam();
+  // Birch is expected to be bad (that is the paper's point); DC suffers on
+  // sorted streams (§7.2). Keep a loose cap that still catches blowups.
+  const double cap = (algo == Algo::kBirch) ? 0.7 : 0.4;
+  auto h = MakeHistogram(algo, seed);
+  FrequencyVector truth(kDomain);
+  Replay(MakeStream(shape, seed), h.get(), &truth);
+  if (truth.TotalCount() == 0) return;
+  EXPECT_LT(KsStatistic(truth, h->Model()), cap)
+      << AlgoName(algo) << "/" << ShapeName(shape) << "/" << seed;
+}
+
+TEST_P(HistogramPropertyTest, EstimatesNeverNegative) {
+  const auto [algo, shape, seed] = GetParam();
+  auto h = MakeHistogram(algo, seed);
+  FrequencyVector truth(kDomain);
+  Replay(MakeStream(shape, seed), h.get(), &truth);
+  const auto model = h->Model();
+  Rng rng(seed + 99);
+  for (const auto& q : MakeUniformQueries(kDomain, 100, rng)) {
+    EXPECT_GE(model.EstimateRange(q.lo, q.hi), -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dynhist

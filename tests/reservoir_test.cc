@@ -1,0 +1,117 @@
+#include "src/sampling/reservoir.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dynhist {
+namespace {
+
+TEST(ReservoirTest, FillsToCapacity) {
+  ReservoirSample sample(10, 1);
+  for (std::int64_t v = 0; v < 10; ++v) {
+    EXPECT_TRUE(sample.Insert(v));  // filling phase always admits
+  }
+  EXPECT_EQ(sample.Size(), 10u);
+  EXPECT_EQ(sample.RelationSize(), 10);
+}
+
+TEST(ReservoirTest, NeverExceedsCapacity) {
+  ReservoirSample sample(16, 2);
+  for (std::int64_t v = 0; v < 1'000; ++v) sample.Insert(v % 37);
+  EXPECT_EQ(sample.Size(), 16u);
+  EXPECT_EQ(sample.RelationSize(), 1'000);
+}
+
+TEST(ReservoirTest, StaysSorted) {
+  ReservoirSample sample(32, 3);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    sample.Insert(rng.UniformInt(0, 999));
+  }
+  const auto& values = sample.SortedValues();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(values[i - 1], values[i]);
+  }
+}
+
+TEST(ReservoirTest, SamplingIsApproximatelyUniform) {
+  // Insert 0..999 once each into a 100-slot reservoir, many trials: each
+  // value should be resident ~10% of the time.
+  constexpr int kTrials = 300;
+  std::vector<int> resident(1'000, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSample sample(100, static_cast<std::uint64_t>(t));
+    for (std::int64_t v = 0; v < 1'000; ++v) sample.Insert(v);
+    for (const auto v : sample.SortedValues()) {
+      resident[static_cast<std::size_t>(v)] += 1;
+    }
+  }
+  // Mean inclusion should be ~kTrials * 0.1; check coarse bands on the
+  // head, middle and tail of the stream (Algorithm R treats positions
+  // uniformly).
+  const auto band_mean = [&](int lo, int hi) {
+    double sum = 0.0;
+    for (int v = lo; v < hi; ++v) sum += resident[static_cast<std::size_t>(v)];
+    return sum / (hi - lo);
+  };
+  EXPECT_NEAR(band_mean(0, 100), kTrials * 0.1, kTrials * 0.02);
+  EXPECT_NEAR(band_mean(450, 550), kTrials * 0.1, kTrials * 0.02);
+  EXPECT_NEAR(band_mean(900, 1'000), kTrials * 0.1, kTrials * 0.02);
+}
+
+TEST(ReservoirTest, DeleteOfResidentValueShrinksSample) {
+  ReservoirSample sample(10, 4);
+  for (std::int64_t v = 0; v < 10; ++v) sample.Insert(v);
+  // Value 5 is resident with exactly one live copy: deletion must hit it.
+  EXPECT_TRUE(sample.Delete(5, 1));
+  EXPECT_EQ(sample.Size(), 9u);
+  EXPECT_EQ(sample.CountOf(5), 0);
+  EXPECT_EQ(sample.RelationSize(), 9);
+}
+
+TEST(ReservoirTest, DeleteOfNonResidentValueLeavesSample) {
+  ReservoirSample sample(4, 5);
+  for (std::int64_t v = 0; v < 4; ++v) sample.Insert(v);
+  // Value 99 was never sampled; resident count 0 => no change.
+  EXPECT_FALSE(sample.Delete(99, 1));
+  EXPECT_EQ(sample.Size(), 4u);
+  EXPECT_EQ(sample.RelationSize(), 3);
+}
+
+TEST(ReservoirTest, DeleteProbabilityMatchesResidencyFraction) {
+  // One value with many copies, sample holds a fraction of them; over many
+  // deletions the hit rate must approximate s_v / N_v.
+  int hits = 0;
+  constexpr int kTrials = 2'000;
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSample sample(50, static_cast<std::uint64_t>(t));
+    for (int i = 0; i < 100; ++i) sample.Insert(7);
+    // s_v = 50 resident, N_v = 100 live => p = 0.5.
+    hits += sample.Delete(7, 100) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), 0.5, 0.05);
+}
+
+TEST(ReservoirTest, HeavyDeletionDrainsSample) {
+  ReservoirSample sample(100, 6);
+  for (std::int64_t v = 0; v < 100; ++v) sample.Insert(v);
+  for (std::int64_t v = 0; v < 100; ++v) sample.Delete(v, 1);
+  EXPECT_EQ(sample.Size(), 0u);
+  EXPECT_EQ(sample.RelationSize(), 0);
+}
+
+TEST(ReservoirTest, EntriesAggregateDuplicates) {
+  ReservoirSample sample(10, 7);
+  for (int i = 0; i < 3; ++i) sample.Insert(5);
+  for (int i = 0; i < 2; ++i) sample.Insert(9);
+  const auto entries = sample.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].value, 5);
+  EXPECT_DOUBLE_EQ(entries[0].freq, 3.0);
+  EXPECT_EQ(entries[1].value, 9);
+  EXPECT_DOUBLE_EQ(entries[1].freq, 2.0);
+}
+
+}  // namespace
+}  // namespace dynhist

@@ -1,0 +1,143 @@
+#include "src/histogram/serialize.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/frequency_vector.h"
+#include "src/histogram/dynamic_vopt.h"
+#include "src/histogram/ssbm.h"
+#include "src/metrics/ks.h"
+
+namespace dynhist {
+namespace {
+
+void ExpectModelsEqual(const HistogramModel& a, const HistogramModel& b) {
+  ASSERT_EQ(a.NumPieces(), b.NumPieces());
+  ASSERT_EQ(a.NumBuckets(), b.NumBuckets());
+  for (std::size_t i = 0; i < a.NumPieces(); ++i) {
+    EXPECT_EQ(a.pieces()[i], b.pieces()[i]);
+  }
+  for (std::size_t i = 0; i < a.NumBuckets(); ++i) {
+    EXPECT_EQ(a.buckets()[i].first_piece, b.buckets()[i].first_piece);
+    EXPECT_EQ(a.buckets()[i].num_pieces, b.buckets()[i].num_pieces);
+    EXPECT_EQ(a.buckets()[i].singular, b.buckets()[i].singular);
+  }
+  EXPECT_DOUBLE_EQ(a.TotalCount(), b.TotalCount());
+}
+
+TEST(SerializeTest, RoundTripsEmptyModel) {
+  HistogramModel out;
+  ASSERT_TRUE(DeserializeModel(SerializeModel(HistogramModel()), &out));
+  EXPECT_TRUE(out.Empty());
+}
+
+TEST(SerializeTest, RoundTripsSimpleModel) {
+  const auto model = HistogramModel::FromSimpleBuckets(
+      {{0, 5, 10.0}, {5, 9, 2.5}, {12, 13, 7.0}});
+  HistogramModel out;
+  ASSERT_TRUE(DeserializeModel(SerializeModel(model), &out));
+  ExpectModelsEqual(model, out);
+}
+
+TEST(SerializeTest, RoundTripsMultiPieceBucketsAndSingularFlags) {
+  HistogramModel model({{0, 5, 2.0}, {5, 10, 8.0}, {10, 11, 4.0}},
+                       {{0, 2, false}, {2, 1, true}});
+  HistogramModel out;
+  ASSERT_TRUE(DeserializeModel(SerializeModel(model), &out));
+  ExpectModelsEqual(model, out);
+  EXPECT_TRUE(out.buckets()[1].singular);
+}
+
+TEST(SerializeTest, RoundTripsLiveDadoSnapshot) {
+  DynamicVOptHistogram h({.buckets = 32,
+                          .policy = DeviationPolicy::kAbsolute});
+  FrequencyVector truth(1'000);
+  Rng rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto v = rng.UniformInt(0, 999);
+    h.Insert(v);
+    truth.Insert(v);
+  }
+  const HistogramModel model = h.Model();
+  HistogramModel out;
+  ASSERT_TRUE(DeserializeModel(SerializeModel(model), &out));
+  ExpectModelsEqual(model, out);
+  // The reloaded snapshot estimates identically.
+  EXPECT_DOUBLE_EQ(KsStatistic(truth, model), KsStatistic(truth, out));
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::string bytes = SerializeModel(HistogramModel::FromSimpleBuckets(
+      {{0, 1, 1.0}}));
+  bytes[0] = 'X';
+  HistogramModel out;
+  EXPECT_FALSE(DeserializeModel(bytes, &out));
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  const std::string bytes = SerializeModel(
+      HistogramModel::FromSimpleBuckets({{0, 1, 1.0}, {1, 2, 2.0}}));
+  HistogramModel out;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        DeserializeModel(std::string_view(bytes.data(), cut), &out))
+        << "accepted truncation at " << cut;
+  }
+}
+
+TEST(SerializeTest, RejectsTrailingGarbage) {
+  std::string bytes = SerializeModel(
+      HistogramModel::FromSimpleBuckets({{0, 1, 1.0}}));
+  bytes.push_back('\0');
+  HistogramModel out;
+  EXPECT_FALSE(DeserializeModel(bytes, &out));
+}
+
+TEST(SerializeTest, RejectsCorruptPieceGeometry) {
+  const auto model =
+      HistogramModel::FromSimpleBuckets({{0, 5, 1.0}, {5, 9, 1.0}});
+  std::string bytes = SerializeModel(model);
+  // Flip the second piece's left border (offset: magic 4 + counts 8 +
+  // piece0 24 = 36) to overlap the first piece.
+  const double bad_left = 2.0;
+  std::memcpy(bytes.data() + 36, &bad_left, sizeof(double));
+  HistogramModel out;
+  EXPECT_FALSE(DeserializeModel(bytes, &out));
+}
+
+TEST(SerializeTest, RejectsNegativeCount) {
+  const auto model = HistogramModel::FromSimpleBuckets({{0, 5, 1.0}});
+  std::string bytes = SerializeModel(model);
+  const double bad_count = -3.0;
+  // Piece layout: left(8) right(8) count(8) after the 12-byte header.
+  std::memcpy(bytes.data() + 12 + 16, &bad_count, sizeof(double));
+  HistogramModel out;
+  EXPECT_FALSE(DeserializeModel(bytes, &out));
+}
+
+TEST(SerializeTest, RejectsBucketsNotTilingPieces) {
+  HistogramModel model({{0, 5, 2.0}, {5, 10, 8.0}}, {{0, 2, false}});
+  std::string bytes = SerializeModel(model);
+  // Claim the bucket covers only one piece: num_pieces field of bucket 0
+  // sits after header(12) + 2 pieces(48) + first_piece(4).
+  const std::uint32_t bad = 1;
+  std::memcpy(bytes.data() + 12 + 48 + 4, &bad, sizeof(bad));
+  HistogramModel out;
+  EXPECT_FALSE(DeserializeModel(bytes, &out));
+}
+
+TEST(SerializeTest, WireSizeIsCompact) {
+  // 64 single-piece buckets: 12 + 64*24 + 64*9 bytes.
+  std::vector<HistogramModel::Piece> pieces;
+  for (int i = 0; i < 64; ++i) {
+    pieces.push_back({static_cast<double>(i), static_cast<double>(i) + 1.0,
+                      1.0});
+  }
+  const auto model = HistogramModel::FromSimpleBuckets(std::move(pieces));
+  EXPECT_EQ(SerializeModel(model).size(), 12u + 64u * 24u + 64u * 9u);
+}
+
+}  // namespace
+}  // namespace dynhist

@@ -1,0 +1,104 @@
+#include "src/histogram/static_compressed.h"
+
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/ks.h"
+#include "src/histogram/static_equi.h"
+#include "tests/test_util.h"
+
+namespace dynhist {
+namespace {
+
+TEST(CompressedTest, HighFrequencyValuesBecomeSingular) {
+  // 1000 points at value 10, a trickle elsewhere; N/B = 1100/10 = 110.
+  FrequencyVector data(100);
+  for (int i = 0; i < 1'000; ++i) data.Insert(10);
+  for (int v = 0; v < 100; ++v) data.Insert(v);
+  const auto model = BuildCompressed(data, 10);
+  bool found_singular_at_10 = false;
+  for (std::size_t b = 0; b < model.NumBuckets(); ++b) {
+    if (!model.buckets()[b].singular) continue;
+    const auto pieces = model.BucketPieces(b);
+    EXPECT_DOUBLE_EQ(pieces[0].right - pieces[0].left, 1.0);
+    if (pieces[0].left == 10.0) {
+      found_singular_at_10 = true;
+      EXPECT_DOUBLE_EQ(pieces[0].count, 1'001.0);
+    }
+  }
+  EXPECT_TRUE(found_singular_at_10);
+}
+
+TEST(CompressedTest, NoSingularsOnUniformData) {
+  // Equi-Depth is the special case with no singular buckets (§3).
+  FrequencyVector data(100);
+  for (int v = 0; v < 100; ++v) data.Insert(v);
+  const auto model = BuildCompressed(data, 8);
+  for (const auto& bucket : model.buckets()) {
+    EXPECT_FALSE(bucket.singular);
+  }
+}
+
+TEST(CompressedTest, BucketBudgetRespected) {
+  Rng rng(1);
+  FrequencyVector data(500);
+  for (int i = 0; i < 10'000; ++i) {
+    data.Insert(rng.Bernoulli(0.5) ? rng.UniformInt(0, 4)
+                                   : rng.UniformInt(0, 499));
+  }
+  for (const std::int64_t buckets : {2, 5, 10, 40}) {
+    const auto model = BuildCompressed(data, buckets);
+    EXPECT_LE(model.NumBuckets(), static_cast<std::size_t>(buckets));
+    EXPECT_NEAR(model.TotalCount(), 10'000.0, 1e-6);
+  }
+}
+
+TEST(CompressedTest, ExactWhenBudgetCoversDistinct) {
+  const FrequencyVector data = testing::MakeData(50, {1, 2, 2, 2, 40});
+  const auto model = BuildCompressed(data, 8);
+  EXPECT_NEAR(KsStatistic(data, model), 0.0, 1e-12);
+}
+
+TEST(CompressedTest, AtLeastAsGoodAsEquiDepthOnSpikes) {
+  // Singleton buckets for spikes are the whole point of Compressed.
+  Rng rng(2);
+  FrequencyVector data(1'000);
+  for (int i = 0; i < 30'000; ++i) {
+    if (rng.Bernoulli(0.6)) {
+      data.Insert(rng.Bernoulli(0.5) ? 100 : 700);  // two big spikes
+    } else {
+      data.Insert(rng.UniformInt(0, 999));
+    }
+  }
+  const double sc = KsStatistic(data, BuildCompressed(data, 12));
+  const double ed = KsStatistic(data, BuildEquiDepth(data, 12));
+  EXPECT_LE(sc, ed + 0.01);
+}
+
+TEST(CompressedTest, InterleavedSingularsKeepValueOrder) {
+  // Several spikes spread across the domain: buckets must come out in
+  // ascending border order with regular runs between spikes.
+  FrequencyVector data(1'000);
+  for (const int spike : {50, 300, 800}) {
+    for (int i = 0; i < 2'000; ++i) data.Insert(spike);
+  }
+  Rng rng(3);
+  for (int i = 0; i < 2'000; ++i) data.Insert(rng.UniformInt(0, 999));
+  const auto model = BuildCompressed(data, 12);
+  EXPECT_TRUE(testing::ModelIsValid(model));
+  int singulars = 0;
+  for (const auto& bucket : model.buckets()) singulars += bucket.singular;
+  EXPECT_EQ(singulars, 3);
+}
+
+TEST(CompressedTest, SingleDistinctValue) {
+  FrequencyVector data(10);
+  for (int i = 0; i < 100; ++i) data.Insert(7);
+  const auto model = BuildCompressed(data, 4);
+  ASSERT_EQ(model.NumBuckets(), 1u);
+  EXPECT_NEAR(KsStatistic(data, model), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dynhist

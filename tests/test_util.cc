@@ -1,0 +1,58 @@
+#include "tests/test_util.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dynhist::testing {
+
+namespace {
+
+double SegmentCost(const std::vector<ValueFreq>& entries, std::size_t a,
+                   std::size_t b, DeviationPolicy policy) {
+  // Data-extent convention (matches the production DP): the bucket spans
+  // [v_a, v_b + 1); internal gaps count, the trailing gap does not.
+  const double left = static_cast<double>(entries[a].value);
+  const double right = static_cast<double>(entries[b].value) + 1.0;
+  const double width = right - left;
+  double total = 0.0;
+  for (std::size_t i = a; i <= b; ++i) total += entries[i].freq;
+  const double avg = total / width;
+  double cost = 0.0;
+  double nonzero = 0.0;
+  for (std::size_t i = a; i <= b; ++i) {
+    const double dev = entries[i].freq - avg;
+    cost += policy == DeviationPolicy::kSquared ? dev * dev : std::fabs(dev);
+    nonzero += 1.0;
+  }
+  const double zeros = width - nonzero;
+  cost += policy == DeviationPolicy::kSquared ? zeros * avg * avg
+                                              : zeros * avg;
+  return cost;
+}
+
+double Recurse(const std::vector<ValueFreq>& entries, std::size_t start,
+               std::int64_t buckets, DeviationPolicy policy) {
+  const std::size_t d = entries.size();
+  if (buckets == 1) return SegmentCost(entries, start, d - 1, policy);
+  double best = std::numeric_limits<double>::infinity();
+  // The current bucket takes entries [start..end]; leave at least one entry
+  // per remaining bucket.
+  for (std::size_t end = start;
+       end + static_cast<std::size_t>(buckets) - 1 < d; ++end) {
+    const double cost = SegmentCost(entries, start, end, policy) +
+                        Recurse(entries, end + 1, buckets - 1, policy);
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+}  // namespace
+
+double BruteForceOptimalCost(const std::vector<ValueFreq>& entries,
+                             std::int64_t buckets, DeviationPolicy policy) {
+  if (entries.empty()) return 0.0;
+  if (static_cast<std::size_t>(buckets) >= entries.size()) return 0.0;
+  return Recurse(entries, 0, buckets, policy);
+}
+
+}  // namespace dynhist::testing

@@ -1,0 +1,57 @@
+// Shared helpers for dynhist tests.
+
+#ifndef DYNHIST_TESTS_TEST_UTIL_H_
+#define DYNHIST_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/data/frequency_vector.h"
+#include "src/histogram/deviation.h"
+#include "src/histogram/model.h"
+
+namespace dynhist::testing {
+
+/// Builds entries from parallel (value, freq) lists.
+inline std::vector<ValueFreq> Entries(
+    std::initializer_list<std::pair<std::int64_t, double>> pairs) {
+  std::vector<ValueFreq> entries;
+  for (const auto& [v, f] : pairs) entries.push_back({v, f});
+  return entries;
+}
+
+/// Builds a FrequencyVector over [0, domain) from a list of values.
+inline FrequencyVector MakeData(std::int64_t domain,
+                                std::initializer_list<std::int64_t> values) {
+  FrequencyVector data(domain);
+  for (const std::int64_t v : values) data.Insert(v);
+  return data;
+}
+
+/// Checks structural sanity of a model: pieces sorted, disjoint, positive
+/// width, non-negative counts; buckets tile pieces. Returns true when valid
+/// (the HistogramModel constructor DH_CHECKs most of this; tests use this
+/// on derived data).
+inline bool ModelIsValid(const HistogramModel& model) {
+  double prev_right = -std::numeric_limits<double>::infinity();
+  for (const auto& p : model.pieces()) {
+    if (p.right <= p.left) return false;
+    if (p.left < prev_right - 1e-9) return false;
+    if (p.count < 0.0) return false;
+    prev_right = p.right;
+  }
+  return true;
+}
+
+/// Exhaustive optimal partition cost over `entries` into `buckets` buckets
+/// (reference for DP tests; exponential, keep inputs tiny). Uses the same
+/// bucket extent convention as the production DP: a bucket holding entries
+/// [a..b] spans its data extent [value(a), value(b) + 1); zero frequencies
+/// inside the extent count toward the deviation, trailing gaps do not.
+double BruteForceOptimalCost(const std::vector<ValueFreq>& entries,
+                             std::int64_t buckets, DeviationPolicy policy);
+
+}  // namespace dynhist::testing
+
+#endif  // DYNHIST_TESTS_TEST_UTIL_H_

@@ -1,0 +1,120 @@
+#include "src/data/update_stream.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace dynhist {
+namespace {
+
+std::vector<std::int64_t> TestValues() {
+  std::vector<std::int64_t> values;
+  for (std::int64_t i = 0; i < 500; ++i) values.push_back(i % 37);
+  return values;
+}
+
+// Every delete must target a value that is currently live.
+void CheckStreamConsistency(const UpdateStream& stream) {
+  std::map<std::int64_t, std::int64_t> live;
+  for (const UpdateOp& op : stream) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      live[op.value] += 1;
+    } else {
+      ASSERT_GT(live[op.value], 0) << "delete of non-live value " << op.value;
+      live[op.value] -= 1;
+    }
+  }
+}
+
+std::size_t CountKind(const UpdateStream& stream, UpdateOp::Kind kind) {
+  std::size_t n = 0;
+  for (const UpdateOp& op : stream) n += (op.kind == kind) ? 1 : 0;
+  return n;
+}
+
+TEST(UpdateStreamTest, RandomInsertStreamIsPermutation) {
+  Rng rng(1);
+  const auto stream = MakeRandomInsertStream(TestValues(), rng);
+  EXPECT_EQ(stream.size(), 500u);
+  EXPECT_EQ(CountKind(stream, UpdateOp::Kind::kDelete), 0u);
+  std::vector<std::int64_t> seen;
+  for (const UpdateOp& op : stream) seen.push_back(op.value);
+  std::sort(seen.begin(), seen.end());
+  auto expected = TestValues();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(UpdateStreamTest, SortedInsertStreamIsAscending) {
+  const auto stream = MakeSortedInsertStream(TestValues());
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].value, stream[i].value);
+  }
+}
+
+TEST(UpdateStreamTest, MixedStreamDeletesLiveValuesOnly) {
+  Rng rng(2);
+  const auto stream = MakeMixedStream(TestValues(), 0.25, rng);
+  CheckStreamConsistency(stream);
+  const auto deletes = CountKind(stream, UpdateOp::Kind::kDelete);
+  // ~25% deletion rate (§7.3.1).
+  EXPECT_GT(deletes, 80u);
+  EXPECT_LT(deletes, 170u);
+}
+
+TEST(UpdateStreamTest, MixedStreamZeroProbabilityHasNoDeletes) {
+  Rng rng(3);
+  const auto stream = MakeMixedStream(TestValues(), 0.0, rng);
+  EXPECT_EQ(CountKind(stream, UpdateOp::Kind::kDelete), 0u);
+}
+
+TEST(UpdateStreamTest, InsertsThenRandomDeletes) {
+  Rng rng(4);
+  const auto stream = MakeInsertsThenRandomDeletes(TestValues(), 0.6, rng);
+  CheckStreamConsistency(stream);
+  EXPECT_EQ(CountKind(stream, UpdateOp::Kind::kInsert), 500u);
+  EXPECT_EQ(CountKind(stream, UpdateOp::Kind::kDelete), 300u);
+  // All inserts precede all deletes.
+  bool seen_delete = false;
+  for (const UpdateOp& op : stream) {
+    if (op.kind == UpdateOp::Kind::kDelete) seen_delete = true;
+    if (seen_delete) {
+      EXPECT_EQ(op.kind, UpdateOp::Kind::kDelete);
+    }
+  }
+}
+
+TEST(UpdateStreamTest, SortedInsertsThenRandomDeletes) {
+  Rng rng(5);
+  const auto stream =
+      MakeSortedInsertsThenRandomDeletes(TestValues(), 0.5, rng);
+  CheckStreamConsistency(stream);
+  EXPECT_EQ(stream.size(), 750u);
+  for (std::size_t i = 1; i < 500; ++i) {
+    EXPECT_LE(stream[i - 1].value, stream[i].value);
+  }
+}
+
+TEST(UpdateStreamTest, SortedInsertsThenSortedDeletes) {
+  const auto stream = MakeSortedInsertsThenSortedDeletes(TestValues(), 0.4);
+  CheckStreamConsistency(stream);
+  EXPECT_EQ(CountKind(stream, UpdateOp::Kind::kDelete), 200u);
+  // Deletes replay the sorted insert order.
+  for (std::size_t i = 501; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].value, stream[i].value);
+  }
+}
+
+TEST(UpdateStreamTest, FullDeletionEmptiesRelation) {
+  Rng rng(6);
+  const auto stream = MakeInsertsThenRandomDeletes(TestValues(), 1.0, rng);
+  std::map<std::int64_t, std::int64_t> live;
+  for (const UpdateOp& op : stream) {
+    live[op.value] += op.kind == UpdateOp::Kind::kInsert ? 1 : -1;
+  }
+  for (const auto& [value, count] : live) EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace dynhist
