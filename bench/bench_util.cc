@@ -17,15 +17,58 @@ Options Options::FromArgs(int argc, char** argv) {
     } else if (arg.rfind("--points=", 0) == 0) {
       options.points = std::stoll(arg.substr(9));
     } else if (arg == "--quick") {
+      options.quick = true;
       options.seeds = 1;
       options.points = 20'000;
+    } else if (arg == "--json") {
+      options.json = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     }
   }
   DH_CHECK(options.seeds >= 1);
   DH_CHECK(options.points >= 1);
+  SetJsonOutput(options.json);
   return options;
+}
+
+namespace {
+
+bool json_output_enabled = false;
+
+// JSON string escaping for the few metacharacters bench titles can hold.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetJsonOutput(bool enabled) { json_output_enabled = enabled; }
+
+bool JsonOutputEnabled() { return json_output_enabled; }
+
+void EmitJsonSeries(const std::string& bench, const std::string& series,
+                    const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  if (!json_output_enabled) return;
+  DH_CHECK(xs.size() == ys.size());
+  std::printf("{\"bench\":\"%s\",\"series\":\"%s\",\"x\":[",
+              JsonEscape(bench).c_str(), JsonEscape(series).c_str());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%s%.10g", i == 0 ? "" : ",", xs[i]);
+  }
+  std::printf("],\"y\":[");
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    std::printf("%s%.10g", i == 0 ? "" : ",", ys[i]);
+  }
+  std::printf("]}\n");
+  std::fflush(stdout);
 }
 
 std::unique_ptr<Histogram> MakeDynamic(const std::string& name,
@@ -89,6 +132,7 @@ void RunSweep(const std::string& title, const std::string& x_label,
   std::printf("%-12s", x_label.c_str());
   for (const std::string& s : series) std::printf("%14s", s.c_str());
   std::printf("\n");
+  std::vector<std::vector<double>> means(series.size());
   for (const double x : xs) {
     std::vector<double> sums(series.size(), 0.0);
     for (int seed = 0; seed < seeds; ++seed) {
@@ -98,13 +142,18 @@ void RunSweep(const std::string& title, const std::string& x_label,
       for (std::size_t i = 0; i < row.size(); ++i) sums[i] += row[i];
     }
     std::printf("%-12.4g", x);
-    for (const double sum : sums) {
-      std::printf("%14.6f", sum / static_cast<double>(seeds));
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      const double mean = sums[i] / static_cast<double>(seeds);
+      means[i].push_back(mean);
+      std::printf("%14.6f", mean);
     }
     std::printf("\n");
     std::fflush(stdout);
   }
   std::printf("\n");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EmitJsonSeries(title, series[i], xs, means[i]);
+  }
 }
 
 void RunTimeline(const std::string& title, const std::string& x_label,
@@ -128,14 +177,20 @@ void RunTimeline(const std::string& title, const std::string& x_label,
   std::printf("%-12s", x_label.c_str());
   for (const std::string& s : series) std::printf("%14s", s.c_str());
   std::printf("\n");
+  std::vector<std::vector<double>> means(series.size());
   for (std::size_t x = 0; x < xs.size(); ++x) {
     std::printf("%-12.4g", xs[x]);
-    for (const double sum : sums[x]) {
-      std::printf("%14.6f", sum / static_cast<double>(seeds));
+    for (std::size_t s = 0; s < sums[x].size(); ++s) {
+      const double mean = sums[x][s] / static_cast<double>(seeds);
+      means[s].push_back(mean);
+      std::printf("%14.6f", mean);
     }
     std::printf("\n");
   }
   std::printf("\n");
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    EmitJsonSeries(title, series[s], xs, means[s]);
+  }
 }
 
 }  // namespace dynhist::bench

@@ -7,6 +7,8 @@
 //   --seeds=N    randomized repetitions per point (default 5; paper: 10)
 //   --points=N   stream length (default 100,000; the paper's test size)
 //   --quick      1 seed, 20,000 points (smoke-test mode)
+//   --json       additionally emit one JSON line per series (for BENCH_*
+//                trajectory tracking; see EmitJsonSeries)
 
 #ifndef DYNHIST_BENCH_BENCH_UTIL_H_
 #define DYNHIST_BENCH_BENCH_UTIL_H_
@@ -25,9 +27,27 @@ namespace dynhist::bench {
 struct Options {
   int seeds = 5;
   std::int64_t points = 100'000;
+  bool quick = false;
+  bool json = false;
 
+  /// Parses flags; as a side effect enables process-wide JSON emission
+  /// (SetJsonOutput) when --json is present.
   static Options FromArgs(int argc, char** argv);
 };
+
+/// Process-wide switch for machine-readable output. When on, RunSweep /
+/// RunTimeline / EmitJsonSeries print one JSON object per series line.
+void SetJsonOutput(bool enabled);
+bool JsonOutputEnabled();
+
+/// Prints one machine-readable result line (regardless of the human table):
+///   {"bench":"...","series":"...","x":[...],"y":[...]}
+/// No-op unless JSON output is enabled. Benches call this (or rely on
+/// RunSweep/RunTimeline, which call it per series) so results can seed
+/// BENCH_*.json trajectory files.
+void EmitJsonSeries(const std::string& bench, const std::string& series,
+                    const std::vector<double>& xs,
+                    const std::vector<double>& ys);
 
 /// Memory sizes in bytes from the paper's "Memory [KB]" axes.
 inline double Kb(double kb) { return kb * 1024.0; }

@@ -1,0 +1,204 @@
+// Micro-benchmark: concurrent engine ingest and query throughput.
+//
+// Three phases, each swept over a thread count of 1..16:
+//   1. ingest — T writer threads split a Zipfian insert stream and push it
+//      through HistogramEngine; reported as updates/sec. Run twice: with
+//      the configured shard/batch layout and with a deliberately serial
+//      layout (1 shard, batch 1, i.e. one global mutex) as the contention
+//      baseline.
+//   2. query — T reader threads issue random range estimates against the
+//      published snapshot; reported as queries/sec.
+//   3. accuracy — the engine's merged snapshot vs a directly-maintained
+//      DADO histogram on the same stream, both scored by KS distance
+//      against the exact FrequencyVector (the merge pipeline must not
+//      cost accuracy).
+//
+// Flags: the shared bench flags (--quick, --points=N, --json) plus the
+// engine's shard count via --shards=N (default 8).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dynhist::bench {
+namespace {
+
+using engine::EngineOptions;
+using engine::HistogramEngine;
+
+constexpr std::int64_t kDomain = 5'001;
+constexpr char kKey[] = "bench.attribute";
+
+std::vector<std::int64_t> MakeZipfValues(std::int64_t n, double z,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  const ZipfDistribution zipf(static_cast<std::size_t>(kDomain), z);
+  // Scatter ranks over the domain so frequency is not monotone in value.
+  std::vector<std::int64_t> rank_to_value(kDomain);
+  for (std::int64_t v = 0; v < kDomain; ++v) rank_to_value[v] = v;
+  for (std::int64_t v = kDomain - 1; v > 0; --v) {
+    std::swap(rank_to_value[v],
+              rank_to_value[rng.UniformInt(static_cast<std::uint64_t>(v) + 1)]);
+  }
+  std::vector<std::int64_t> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    values.push_back(rank_to_value[zipf.Sample(rng)]);
+  }
+  return values;
+}
+
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Pushes `values` through a fresh engine with `threads` writers; returns
+/// updates per second.
+double MeasureIngest(const EngineOptions& options,
+                     const std::vector<std::int64_t>& values, int threads) {
+  HistogramEngine engine(options);
+  const std::size_t per_thread = values.size() / static_cast<std::size_t>(threads);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> writers;
+  writers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * per_thread;
+    const std::size_t end =
+        t + 1 == threads ? values.size() : begin + per_thread;
+    writers.emplace_back([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        engine.Insert(kKey, values[i]);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  engine.FlushAll();
+  const double seconds = SecondsSince(start);
+  return static_cast<double>(values.size()) / seconds;
+}
+
+/// Issues `queries_per_thread` random range estimates from each of
+/// `threads` readers against a pre-loaded engine; returns queries/sec.
+double MeasureQueries(HistogramEngine& engine, int threads,
+                      std::int64_t queries_per_thread) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  std::vector<double> sinks(static_cast<std::size_t>(threads), 0.0);
+  readers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      double sink = 0.0;
+      for (std::int64_t q = 0; q < queries_per_thread; ++q) {
+        const std::int64_t lo = rng.UniformInt(0, kDomain - 1);
+        const std::int64_t hi =
+            std::min<std::int64_t>(kDomain - 1, lo + rng.UniformInt(0, 500));
+        sink += engine.EstimateRange(kKey, lo, hi);
+      }
+      sinks[static_cast<std::size_t>(t)] = sink;  // defeat dead-code elim
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  const double seconds = SecondsSince(start);
+  return static_cast<double>(queries_per_thread) *
+         static_cast<double>(threads) / seconds;
+}
+
+}  // namespace
+}  // namespace dynhist::bench
+
+int main(int argc, char** argv) {
+  using namespace dynhist;
+  using namespace dynhist::bench;
+
+  // Peel off the bench-local --shards flag before the shared parser sees
+  // (and warns about) it.
+  int shards = 8;
+  std::vector<char*> shared_args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::stoi(arg.substr(9));
+    } else {
+      shared_args.push_back(argv[i]);
+    }
+  }
+  Options options = Options::FromArgs(
+      static_cast<int>(shared_args.size()), shared_args.data());
+
+  const std::vector<double> thread_counts =
+      options.quick ? std::vector<double>{1, 2, 8}
+                    : std::vector<double>{1, 2, 4, 8, 16};
+  const std::vector<std::int64_t> values =
+      MakeZipfValues(options.points, 1.0, /*seed=*/17);
+
+  EngineOptions sharded;
+  sharded.shards = shards;
+  sharded.batch_size = 64;
+  sharded.snapshot_every = options.points / 4;
+  EngineOptions serial = sharded;
+  serial.shards = 1;
+  serial.batch_size = 1;
+
+  std::printf("# micro_engine_throughput: %lld updates, domain %lld, "
+              "%d shards, batch %d\n",
+              static_cast<long long>(options.points),
+              static_cast<long long>(kDomain), sharded.shards,
+              sharded.batch_size);
+  std::printf("%-10s%18s%18s\n", "threads", "sharded up/s", "serial up/s");
+  std::vector<double> sharded_ups, serial_ups;
+  for (const double t : thread_counts) {
+    const int threads = static_cast<int>(t);
+    sharded_ups.push_back(MeasureIngest(sharded, values, threads));
+    serial_ups.push_back(MeasureIngest(serial, values, threads));
+    std::printf("%-10d%18.0f%18.0f\n", threads, sharded_ups.back(),
+                serial_ups.back());
+    std::fflush(stdout);
+  }
+  EmitJsonSeries("micro_engine_throughput", "updates_per_sec_sharded",
+                 thread_counts, sharded_ups);
+  EmitJsonSeries("micro_engine_throughput", "updates_per_sec_serial",
+                 thread_counts, serial_ups);
+
+  // Query throughput against one pre-loaded, published engine.
+  HistogramEngine engine(sharded);
+  engine.InsertBatch(kKey, values);
+  engine.RefreshSnapshot(kKey);
+  const std::int64_t queries_per_thread = options.quick ? 20'000 : 100'000;
+  std::printf("\n%-10s%18s\n", "threads", "queries/s");
+  std::vector<double> qps;
+  for (const double t : thread_counts) {
+    qps.push_back(MeasureQueries(engine, static_cast<int>(t),
+                                 queries_per_thread));
+    std::printf("%-10d%18.0f\n", static_cast<int>(t), qps.back());
+    std::fflush(stdout);
+  }
+  EmitJsonSeries("micro_engine_throughput", "queries_per_sec", thread_counts,
+                 qps);
+
+  // Accuracy: engine snapshot vs directly-maintained DADO, same stream.
+  FrequencyVector truth(kDomain);
+  DynamicVOptHistogram direct(
+      DynamicVOptConfig{.buckets = 64, .policy = DeviationPolicy::kAbsolute});
+  for (const std::int64_t v : values) {
+    truth.Insert(v);
+    direct.Insert(v);
+  }
+  const double ks_direct = KsStatistic(truth, direct.Model());
+  const double ks_engine =
+      KsStatistic(truth, engine.RefreshSnapshot(kKey).model());
+  std::printf("\nKS vs truth: direct DADO %.6f, engine snapshot %.6f\n",
+              ks_direct, ks_engine);
+  EmitJsonSeries("micro_engine_throughput", "ks_direct", {0}, {ks_direct});
+  EmitJsonSeries("micro_engine_throughput", "ks_engine", {0}, {ks_engine});
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Engine server demo: concurrent writers and readers on one histogram key.
+//
+// Simulates the server-side life of a dynamic histogram: four writer
+// threads stream Zipfian inserts (with a 25% trailing delete mix, §7.3.1)
+// into a HistogramEngine while two reader threads continuously ask
+// selectivity questions against the published epoch snapshots — the
+// optimizer's view. A background merge thread republishes snapshots every
+// few milliseconds. At the end the final snapshot is scored (KS distance,
+// §6.2) against the exact FrequencyVector ground truth assembled from
+// everything the writers actually did.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/dynhist.h"
+
+int main() {
+  using namespace dynhist;
+  using namespace dynhist::engine;
+
+  constexpr std::int64_t kDomain = 5'001;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr std::int64_t kOpsPerWriter = 50'000;
+  constexpr char kKey[] = "orders.amount";
+
+  EngineOptions options;
+  options.shards = 8;
+  options.batch_size = 64;
+  options.snapshot_every = 0;        // publication via background thread
+  options.background_interval_ms = 5;
+  options.kind = ShardHistogramKind::kDynamicAdo;
+  HistogramEngine engine(options);
+
+  // Each writer's operations, pre-generated so the exact ground truth can
+  // be reassembled after the run.
+  std::vector<UpdateStream> scripts;
+  for (int w = 0; w < kWriters; ++w) {
+    Rng rng(static_cast<std::uint64_t>(w) + 41);
+    const ZipfDistribution zipf(static_cast<std::size_t>(kDomain), 1.0);
+    std::vector<std::int64_t> values;
+    values.reserve(kOpsPerWriter);
+    for (std::int64_t i = 0; i < kOpsPerWriter; ++i) {
+      values.push_back(static_cast<std::int64_t>(zipf.Sample(rng)));
+    }
+    scripts.push_back(MakeMixedStream(std::move(values), 0.25, rng));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries_served{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::int64_t total_ops = 0;
+  for (const UpdateStream& script : scripts) {
+    total_ops += static_cast<std::int64_t>(script.size());
+    threads.emplace_back([&, &script = script] {
+      for (const UpdateOp& op : script) {
+        if (op.kind == UpdateOp::Kind::kInsert) {
+          engine.Insert(kKey, op.value);
+        } else {
+          engine.Delete(kKey, op.value);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(static_cast<std::uint64_t>(r) + 77);
+      std::uint64_t served = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::int64_t lo = rng.UniformInt(0, kDomain - 1);
+        const std::int64_t hi =
+            std::min<std::int64_t>(kDomain - 1, lo + 250);
+        const EngineSnapshot snapshot = engine.Snapshot(kKey);
+        volatile double sink = snapshot.SelectivityRange(lo, hi);
+        (void)sink;
+        ++served;
+      }
+      queries_served.fetch_add(served);
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads[static_cast<std::size_t>(w)].join();
+  }
+  const double write_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stop.store(true);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Exact ground truth: replay what the writers did, single-threaded.
+  FrequencyVector truth(kDomain);
+  for (const UpdateStream& script : scripts) {
+    for (const UpdateOp& op : script) {
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        truth.Insert(op.value);
+      } else {
+        truth.Delete(op.value);
+      }
+    }
+  }
+
+  const EngineSnapshot final_snapshot = engine.RefreshSnapshot(kKey);
+  const EngineStats stats = engine.Stats();
+  std::printf("writers: %d threads, %lld ops in %.2fs  (%.0f updates/sec)\n",
+              kWriters, static_cast<long long>(total_ops), write_seconds,
+              static_cast<double>(total_ops) / write_seconds);
+  std::printf("readers: %d threads, %llu queries  (%.0f queries/sec)\n",
+              kReaders,
+              static_cast<unsigned long long>(queries_served.load()),
+              static_cast<double>(queries_served.load()) / write_seconds);
+  std::printf("epochs published: %llu   live mass: %.0f (truth %lld)\n",
+              static_cast<unsigned long long>(stats.publishes),
+              engine.LiveTotalCount(kKey),
+              static_cast<long long>(truth.TotalCount()));
+  std::printf("KS(final snapshot, truth) = %.4f\n",
+              KsStatistic(truth, final_snapshot.model()));
+
+  // A couple of optimizer questions against the final epoch.
+  const SelectivityEstimator estimator(final_snapshot.model());
+  const std::int64_t n = truth.TotalCount();
+  std::printf("selectivity(A <= 100):      estimate %.4f   truth %.4f\n",
+              estimator.SelectivityAtMost(100),
+              static_cast<double>(truth.RangeCount(0, 100)) /
+                  static_cast<double>(n));
+  std::printf("selectivity(1000<=A<=2000): estimate %.4f   truth %.4f\n",
+              estimator.SelectivityRange(1'000, 2'000),
+              static_cast<double>(truth.RangeCount(1'000, 2'000)) /
+                  static_cast<double>(n));
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-command regression check: configure, build, run the full test suite,
+# then smoke-run the concurrent-engine micro-benchmark in quick mode.
+#
+# Usage: scripts/check.sh [build_dir]     (default build dir: build)
+#
+# This is the tier-1 sequence from ROADMAP.md plus the engine bench, so a
+# single run catches build breaks, unit/concurrency regressions, and gross
+# engine throughput/accuracy regressions. The bench's --json lines can be
+# appended to BENCH_*.json trajectory files.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== engine micro-bench (quick) =="
+"$BUILD_DIR/micro_engine_throughput" --quick --json
+
+echo "== check.sh: all green =="

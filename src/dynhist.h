@@ -5,7 +5,8 @@
 // maintained histograms (DC, DVO, DADO), the static histograms they are
 // measured against (Equi-Width/Depth, Compressed, V-Optimal, SADO, SSBM),
 // the Approximate-Compressed sampling baseline, quality metrics, synthetic
-// workloads, and shared-nothing global-histogram construction.
+// workloads, shared-nothing global-histogram construction, and the
+// concurrent histogram engine (sharded ingest + epoch snapshots).
 //
 // Include this header for the full public API, or the individual module
 // headers for finer-grained dependencies.
@@ -37,6 +38,10 @@
 #include "src/cluster/birch1d.h"           // IWYU pragma: export
 #include "src/distributed/global_histogram.h"      // IWYU pragma: export
 #include "src/distributed/site.h"          // IWYU pragma: export
+#include "src/engine/engine_options.h"     // IWYU pragma: export
+#include "src/engine/histogram_engine.h"   // IWYU pragma: export
+#include "src/engine/shard.h"              // IWYU pragma: export
+#include "src/engine/snapshot.h"           // IWYU pragma: export
 #include "src/estimate/selectivity.h"      // IWYU pragma: export
 #include "src/metrics/ks.h"                // IWYU pragma: export
 #include "src/metrics/query_error.h"       // IWYU pragma: export

@@ -1,0 +1,70 @@
+// Configuration of the concurrent histogram engine.
+//
+// The engine (see histogram_engine.h) turns the single-threaded dynamic
+// histograms of §3-§4 into server-side state that absorbs a concurrent
+// update stream: updates hash across `shards` independently-locked
+// histogram instances, per-shard buffers batch `batch_size` operations per
+// histogram-lock acquisition, and every `snapshot_every` updates the shard
+// models are merged (Superimpose + ReduceWithSsbm, the §8 machinery) into
+// one immutable published snapshot that queries read lock-free.
+
+#ifndef DYNHIST_ENGINE_ENGINE_OPTIONS_H_
+#define DYNHIST_ENGINE_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+
+namespace dynhist::engine {
+
+/// Which dynamic histogram each shard maintains. Restricted to the kinds
+/// whose Delete() ignores `live_copies_before` (the engine does not track
+/// exact per-value live counts; see Histogram::Delete).
+enum class ShardHistogramKind {
+  kDynamicCompressed,  ///< DC (§3)
+  kDynamicVOpt,        ///< DVO (§4, squared deviations)
+  kDynamicAdo,         ///< DADO (§4.1, absolute deviations; paper's best)
+};
+
+/// Tuning knobs of a HistogramEngine. The defaults suit a 5000-value
+/// domain with ~10^5 live points (the paper's reference workload).
+struct EngineOptions {
+  /// Number of ingest shards per key. Updates hash (by value) to a shard;
+  /// each shard owns one dynamic histogram behind its own mutex.
+  int shards = 8;
+
+  /// Operations buffered per shard before the shard's histogram lock is
+  /// taken and the batch applied. 1 applies every update immediately.
+  int batch_size = 64;
+
+  /// Updates (per key) between automatic snapshot publications. 0 disables
+  /// automatic publication; snapshots then refresh only via
+  /// RefreshSnapshot() or the background thread.
+  std::int64_t snapshot_every = 8192;
+
+  /// Histogram kind maintained by every shard.
+  ShardHistogramKind kind = ShardHistogramKind::kDynamicAdo;
+
+  /// Buckets per shard histogram (n in §3/§4).
+  std::int64_t shard_buckets = 64;
+
+  /// Bucket budget of the published merged snapshot: the superimposed
+  /// composite of the shard models is re-partitioned to this many buckets
+  /// with SSBM ("treat the histogram as a data set", §8). 0 publishes the
+  /// lossless composite unreduced.
+  std::int64_t merged_buckets = 64;
+
+  /// DC only: chi-square repartition threshold (§3).
+  double alpha_min = 1e-6;
+
+  /// DVO/DADO only: equal-width sub-buckets per bucket (§4).
+  int sub_buckets = 2;
+
+  /// When positive, a background thread republishes every key's snapshot
+  /// at this cadence (skipping keys with no new updates). 0 disables the
+  /// thread; publication is then driven by `snapshot_every` and
+  /// RefreshSnapshot() alone.
+  int background_interval_ms = 0;
+};
+
+}  // namespace dynhist::engine
+
+#endif  // DYNHIST_ENGINE_ENGINE_OPTIONS_H_

@@ -1,0 +1,258 @@
+#include "src/engine/histogram_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/distributed/global_histogram.h"
+
+namespace dynhist::engine {
+namespace {
+
+// splitmix64 finalizer: scatters adjacent attribute values across shards
+// (std::hash on integers is the identity on libstdc++, which would map
+// arithmetic value patterns onto a single shard).
+std::uint64_t MixValue(std::int64_t value) {
+  auto z = static_cast<std::uint64_t>(value) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+HistogramEngine::KeyState::KeyState(const EngineOptions& options) {
+  shards.reserve(static_cast<std::size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    shards.push_back(std::make_unique<EngineShard>(options));
+  }
+}
+
+HistogramEngine::HistogramEngine(const EngineOptions& options)
+    : options_(options) {
+  DH_CHECK(options_.shards >= 1);
+  DH_CHECK(options_.batch_size >= 1);
+  DH_CHECK(options_.snapshot_every >= 0);
+  DH_CHECK(options_.merged_buckets >= 0);
+  if (options_.background_interval_ms > 0) {
+    background_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+HistogramEngine::~HistogramEngine() {
+  if (background_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(background_mu_);
+      stopping_ = true;
+    }
+    background_cv_.notify_all();
+    background_.join();
+  }
+}
+
+HistogramEngine::KeyState* HistogramEngine::FindKey(
+    std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  const auto it = registry_.find(std::string(key));
+  return it == registry_.end() ? nullptr : it->second.get();
+}
+
+HistogramEngine::KeyState* HistogramEngine::FindOrCreateKey(
+    std::string_view key) {
+  if (KeyState* state = FindKey(key)) return state;
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  auto [it, inserted] =
+      registry_.try_emplace(std::string(key), nullptr);
+  if (inserted) it->second = std::make_unique<KeyState>(options_);
+  return it->second.get();
+}
+
+std::size_t HistogramEngine::ShardIndexFor(const KeyState& state,
+                                           std::int64_t value) {
+  if (state.shards.size() == 1) return 0;
+  return static_cast<std::size_t>(MixValue(value) % state.shards.size());
+}
+
+EngineShard& HistogramEngine::ShardFor(KeyState& state,
+                                       std::int64_t value) const {
+  return *state.shards[ShardIndexFor(state, value)];
+}
+
+void HistogramEngine::Update(std::string_view key, const UpdateOp& op) {
+  KeyState* state = FindOrCreateKey(key);
+  ShardFor(*state, op.value).Push(op);
+  state->update_count.fetch_add(1, std::memory_order_relaxed);
+  MaybeAutoPublish(*state);
+}
+
+void HistogramEngine::Insert(std::string_view key, std::int64_t value) {
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  Update(key, UpdateOp::Insert(value));
+}
+
+void HistogramEngine::Delete(std::string_view key, std::int64_t value) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  Update(key, UpdateOp::Delete(value));
+}
+
+void HistogramEngine::InsertBatch(std::string_view key,
+                                  const std::vector<std::int64_t>& values) {
+  if (values.empty()) return;
+  KeyState* state = FindOrCreateKey(key);
+  // Partition once, then one PushMany (one buffer-lock round) per shard.
+  std::vector<std::vector<UpdateOp>> per_shard(state->shards.size());
+  for (const std::int64_t v : values) {
+    per_shard[ShardIndexFor(*state, v)].push_back(UpdateOp::Insert(v));
+  }
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    state->shards[s]->PushMany(per_shard[s]);
+  }
+  inserts_.fetch_add(values.size(), std::memory_order_relaxed);
+  state->update_count.fetch_add(values.size(), std::memory_order_relaxed);
+  MaybeAutoPublish(*state);
+}
+
+void HistogramEngine::Flush(std::string_view key) {
+  if (KeyState* state = FindKey(key)) {
+    for (const auto& shard : state->shards) shard->Flush();
+  }
+}
+
+void HistogramEngine::FlushAll() {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  for (const auto& [name, state] : registry_) {
+    for (const auto& shard : state->shards) shard->Flush();
+  }
+}
+
+EngineSnapshot HistogramEngine::Snapshot(std::string_view key) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const KeyState* state = FindKey(key);
+  if (state == nullptr) return EngineSnapshot();
+  std::shared_ptr<const VersionedModel> published =
+      state->published.load(std::memory_order_acquire);
+  if (published == nullptr) return EngineSnapshot();
+  return EngineSnapshot(std::move(published));
+}
+
+EngineSnapshot HistogramEngine::RefreshSnapshot(std::string_view key) {
+  return Publish(*FindOrCreateKey(key));
+}
+
+void HistogramEngine::RefreshAll() {
+  std::vector<KeyState*> states;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    states.reserve(registry_.size());
+    for (const auto& [name, state] : registry_) states.push_back(state.get());
+  }
+  for (KeyState* state : states) {
+    if (state->update_count.load(std::memory_order_relaxed) >
+        state->published_at.load(std::memory_order_relaxed)) {
+      Publish(*state);
+    }
+  }
+}
+
+double HistogramEngine::EstimateRange(std::string_view key, std::int64_t lo,
+                                      std::int64_t hi) const {
+  return Snapshot(key).EstimateRange(lo, hi);
+}
+
+double HistogramEngine::EstimateEquals(std::string_view key,
+                                       std::int64_t v) const {
+  return Snapshot(key).EstimateEquals(v);
+}
+
+double HistogramEngine::LiveTotalCount(std::string_view key) {
+  KeyState* state = FindKey(key);
+  if (state == nullptr) return 0.0;
+  double total = 0.0;
+  for (const auto& shard : state->shards) total += shard->TotalCount();
+  return total;
+}
+
+EngineStats HistogramEngine::Stats() const {
+  EngineStats stats;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    stats.keys = registry_.size();
+  }
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.deletes = deletes_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.publishes = publishes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void HistogramEngine::MaybeAutoPublish(KeyState& state) {
+  if (options_.snapshot_every <= 0) return;
+  const std::uint64_t count =
+      state.update_count.load(std::memory_order_relaxed);
+  const std::uint64_t published_at =
+      state.published_at.load(std::memory_order_relaxed);
+  if (count - published_at <
+      static_cast<std::uint64_t>(options_.snapshot_every)) {
+    return;
+  }
+  // try_lock: if another thread is already merging, this update's epoch
+  // duty is covered by that merge — don't convoy writers on the publisher.
+  std::unique_lock<std::mutex> lock(state.publish_mu, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (state.update_count.load(std::memory_order_relaxed) -
+          state.published_at.load(std::memory_order_relaxed) <
+      static_cast<std::uint64_t>(options_.snapshot_every)) {
+    return;  // lost the race to a concurrent publisher
+  }
+  Publish(state, std::move(lock));
+}
+
+EngineSnapshot HistogramEngine::Publish(KeyState& state) {
+  return Publish(state,
+                 std::unique_lock<std::mutex>(state.publish_mu));
+}
+
+EngineSnapshot HistogramEngine::Publish(
+    KeyState& state, std::unique_lock<std::mutex> publish_lock) {
+  DH_CHECK(publish_lock.owns_lock());
+  // Conservative watermark: updates pushed after this load simply count
+  // toward the next publication even if this merge happens to absorb them.
+  const std::uint64_t watermark =
+      state.update_count.load(std::memory_order_relaxed);
+
+  std::vector<HistogramModel> models;
+  models.reserve(state.shards.size());
+  for (const auto& shard : state.shards) {
+    HistogramModel model = shard->ExportModel();
+    if (!model.Empty()) models.push_back(std::move(model));
+  }
+
+  HistogramModel merged = distributed::Superimpose(models);
+  if (options_.merged_buckets > 0 && !merged.Empty()) {
+    merged = distributed::ReduceWithSsbm(merged, options_.merged_buckets);
+  }
+
+  const std::uint64_t epoch =
+      state.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto versioned = std::make_shared<const VersionedModel>(
+      VersionedModel{std::move(merged), epoch});
+  state.published.store(versioned, std::memory_order_release);
+  state.published_at.store(watermark, std::memory_order_relaxed);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return EngineSnapshot(std::move(versioned));
+}
+
+void HistogramEngine::BackgroundLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.background_interval_ms);
+  std::unique_lock<std::mutex> lock(background_mu_);
+  while (!stopping_) {
+    background_cv_.wait_for(lock, interval, [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    RefreshAll();
+    lock.lock();
+  }
+}
+
+}  // namespace dynhist::engine

@@ -1,0 +1,178 @@
+// Concurrent histogram engine: sharded ingest, epoch snapshots, and a
+// thread-safe query path.
+//
+// The paper's dynamic histograms exist so a live DBMS can keep selectivity
+// estimates fresh under its insert/delete stream (§1); this engine is the
+// server-side packaging of that idea. It maintains a registry of keyed
+// histograms (one per attribute, e.g. "orders.amount") and makes each safe
+// under concurrent writers and readers:
+//
+//   writers ──hash(value)──▶ shard buffers ──batch──▶ per-shard dynamic
+//   histograms (DC/DVO/DADO behind per-shard mutexes)
+//                                   │  every snapshot_every updates, or on
+//                                   ▼  demand / background cadence
+//   Superimpose(shard models) ─▶ ReduceWithSsbm ─▶ immutable VersionedModel
+//                                   │   published by atomic shared_ptr swap
+//                                   ▼
+//   readers ── Snapshot()/EstimateRange()/EstimateEquals(): lock-free reads
+//              of the last published epoch; never touch the write locks.
+//
+// The merge step is exactly the §8 shared-nothing machinery: each shard is
+// a "site" whose histogram covers the subset of values hashing to it, the
+// lossless superposition adds their masses, and SSBM re-partitioning
+// brings the composite back to the configured bucket budget.
+//
+// Consistency model: a snapshot merges every shard, but shards are
+// flushed and exported one after another while writers keep pushing, so
+// there is no cross-shard atomicity — a publication concurrent with a
+// writer may include that writer's later update but not an earlier one
+// that hashed to an already-exported shard. Within one shard the applied
+// sequence is always a prefix of each producer's push order. Reads
+// between publications see the previous epoch — estimates lag the stream
+// by at most snapshot_every updates (or one background interval), and a
+// quiescent RefreshSnapshot() is exact. Deletes must refer to values
+// actually inserted for the key (the §7.3 convention: the executor
+// deletes concrete tuples).
+
+#ifndef DYNHIST_ENGINE_HISTOGRAM_ENGINE_H_
+#define DYNHIST_ENGINE_HISTOGRAM_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/engine_options.h"
+#include "src/engine/shard.h"
+#include "src/engine/snapshot.h"
+
+namespace dynhist::engine {
+
+/// Monotone counters describing engine activity (relaxed reads; the
+/// numbers are mutually consistent only in quiescence).
+struct EngineStats {
+  std::uint64_t keys = 0;        ///< registered histogram keys
+  std::uint64_t inserts = 0;     ///< Insert() calls accepted
+  std::uint64_t deletes = 0;     ///< Delete() calls accepted
+  std::uint64_t queries = 0;     ///< estimate / snapshot reads served
+  std::uint64_t publishes = 0;   ///< snapshot publications across all keys
+};
+
+/// Thread-safe registry of sharded dynamic histograms.
+class HistogramEngine {
+ public:
+  explicit HistogramEngine(const EngineOptions& options);
+  ~HistogramEngine();
+
+  HistogramEngine(const HistogramEngine&) = delete;
+  HistogramEngine& operator=(const HistogramEngine&) = delete;
+
+  /// Records the insertion of one tuple with attribute value `value` under
+  /// `key`, creating the key on first use. Thread-safe.
+  void Insert(std::string_view key, std::int64_t value);
+
+  /// Records the deletion of one tuple. The value must have been inserted
+  /// under `key` (executor convention, §7.3). Thread-safe.
+  void Delete(std::string_view key, std::int64_t value);
+
+  /// Bulk insert: one buffer-lock round per shard instead of per value.
+  void InsertBatch(std::string_view key,
+                   const std::vector<std::int64_t>& values);
+
+  /// Drains every shard buffer of `key` (all keys for FlushAll) into the
+  /// underlying histograms. Does not publish.
+  void Flush(std::string_view key);
+  void FlushAll();
+
+  /// The last published snapshot for `key`. Lock-free on the hot path: one
+  /// shared registry lock plus one atomic shared_ptr load; never touches
+  /// shard locks. An unknown or never-published key yields the empty
+  /// epoch-0 snapshot.
+  EngineSnapshot Snapshot(std::string_view key) const;
+
+  /// Flushes, merges, and publishes a fresh snapshot of `key`, returning
+  /// it. Concurrent refreshes of one key serialize; updates keep flowing.
+  EngineSnapshot RefreshSnapshot(std::string_view key);
+
+  /// Publishes fresh snapshots for every key with unpublished updates.
+  void RefreshAll();
+
+  /// Estimated tuples under `key` with lo <= A <= hi / with A = v, read
+  /// from the last published snapshot.
+  double EstimateRange(std::string_view key, std::int64_t lo,
+                       std::int64_t hi) const;
+  double EstimateEquals(std::string_view key, std::int64_t v) const;
+
+  /// Exact live mass currently absorbed by the shards of `key` (flushes
+  /// buffers; takes shard locks — diagnostic, not a hot-path call).
+  double LiveTotalCount(std::string_view key);
+
+  EngineStats Stats() const;
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct KeyState {
+    explicit KeyState(const EngineOptions& options);
+
+    std::vector<std::unique_ptr<EngineShard>> shards;
+
+    // Updates accepted for this key, and the value of that counter at the
+    // last publication — their difference drives auto-publication.
+    std::atomic<std::uint64_t> update_count{0};
+    std::atomic<std::uint64_t> published_at{0};
+
+    std::mutex publish_mu;  // serializes merges of this key
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::shared_ptr<const VersionedModel>> published;
+  };
+
+  // Finds the key's state, creating it on the update path. Never returns
+  // nullptr when create is true.
+  KeyState* FindKey(std::string_view key) const;
+  KeyState* FindOrCreateKey(std::string_view key);
+
+  // Shard routing for `value` — the single definition of the hash-to-shard
+  // policy; Insert/Delete and InsertBatch must agree or the per-shard
+  // insert-before-delete ordering guarantee breaks.
+  static std::size_t ShardIndexFor(const KeyState& state, std::int64_t value);
+  EngineShard& ShardFor(KeyState& state, std::int64_t value) const;
+
+  void Update(std::string_view key, const UpdateOp& op);
+
+  // After accepting new updates: publish if the cadence says so.
+  void MaybeAutoPublish(KeyState& state);
+
+  // Flush + superimpose + reduce + atomic publish. Returns the snapshot.
+  // The second overload runs under an already-held publish lock.
+  EngineSnapshot Publish(KeyState& state);
+  EngineSnapshot Publish(KeyState& state,
+                         std::unique_lock<std::mutex> publish_lock);
+
+  void BackgroundLoop();
+
+  const EngineOptions options_;
+
+  mutable std::shared_mutex registry_mu_;
+  std::unordered_map<std::string, std::unique_ptr<KeyState>> registry_;
+
+  mutable std::atomic<std::uint64_t> inserts_{0};
+  mutable std::atomic<std::uint64_t> deletes_{0};
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> publishes_{0};
+
+  std::mutex background_mu_;
+  std::condition_variable background_cv_;
+  bool stopping_ = false;  // guarded by background_mu_
+  std::thread background_;
+};
+
+}  // namespace dynhist::engine
+
+#endif  // DYNHIST_ENGINE_HISTOGRAM_ENGINE_H_

@@ -1,0 +1,102 @@
+#include "src/engine/shard.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/histogram/dynamic_compressed.h"
+#include "src/histogram/dynamic_vopt.h"
+
+namespace dynhist::engine {
+
+std::unique_ptr<Histogram> MakeShardHistogram(const EngineOptions& options) {
+  DH_CHECK(options.shard_buckets >= 1);
+  switch (options.kind) {
+    case ShardHistogramKind::kDynamicCompressed:
+      return std::make_unique<DynamicCompressedHistogram>(
+          DynamicCompressedConfig{.buckets = options.shard_buckets,
+                                  .alpha_min = options.alpha_min});
+    case ShardHistogramKind::kDynamicVOpt:
+      return std::make_unique<DynamicVOptHistogram>(
+          DynamicVOptConfig{.buckets = options.shard_buckets,
+                            .policy = DeviationPolicy::kSquared,
+                            .sub_buckets = options.sub_buckets});
+    case ShardHistogramKind::kDynamicAdo:
+      return std::make_unique<DynamicVOptHistogram>(
+          DynamicVOptConfig{.buckets = options.shard_buckets,
+                            .policy = DeviationPolicy::kAbsolute,
+                            .sub_buckets = options.sub_buckets});
+  }
+  DH_CHECK(false);
+  return nullptr;
+}
+
+EngineShard::EngineShard(const EngineOptions& options)
+    : batch_size_(options.batch_size < 1 ? 1 : options.batch_size),
+      histogram_(MakeShardHistogram(options)) {
+  buffer_.reserve(static_cast<std::size_t>(batch_size_));
+}
+
+void EngineShard::Push(const UpdateOp& op) {
+  std::unique_lock<std::mutex> buffer_lock(buffer_mu_);
+  buffer_.push_back(op);
+  if (buffer_.size() < static_cast<std::size_t>(batch_size_)) return;
+
+  // Full batch: take the histogram lock *before* releasing the buffer lock
+  // so batches reach the histogram in fill order, then drain outside the
+  // buffer lock so other producers can refill immediately.
+  std::vector<UpdateOp> batch;
+  batch.reserve(static_cast<std::size_t>(batch_size_));
+  buffer_.swap(batch);
+  std::unique_lock<std::mutex> hist_lock(hist_mu_);
+  buffer_lock.unlock();
+  ApplyLocked(batch);
+}
+
+void EngineShard::PushMany(const std::vector<UpdateOp>& ops) {
+  if (ops.empty()) return;
+  std::unique_lock<std::mutex> buffer_lock(buffer_mu_);
+  buffer_.insert(buffer_.end(), ops.begin(), ops.end());
+  if (buffer_.size() < static_cast<std::size_t>(batch_size_)) return;
+  std::vector<UpdateOp> batch;
+  buffer_.swap(batch);
+  std::unique_lock<std::mutex> hist_lock(hist_mu_);
+  buffer_lock.unlock();
+  ApplyLocked(batch);
+}
+
+void EngineShard::Flush() {
+  std::unique_lock<std::mutex> buffer_lock(buffer_mu_);
+  if (buffer_.empty()) return;
+  std::vector<UpdateOp> batch;
+  buffer_.swap(batch);
+  std::unique_lock<std::mutex> hist_lock(hist_mu_);
+  buffer_lock.unlock();
+  ApplyLocked(batch);
+}
+
+HistogramModel EngineShard::ExportModel() {
+  Flush();
+  std::lock_guard<std::mutex> hist_lock(hist_mu_);
+  return histogram_->Model();
+}
+
+double EngineShard::TotalCount() {
+  Flush();
+  std::lock_guard<std::mutex> hist_lock(hist_mu_);
+  return histogram_->TotalCount();
+}
+
+void EngineShard::ApplyLocked(const std::vector<UpdateOp>& batch) {
+  for (const UpdateOp& op : batch) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      histogram_->Insert(op.value);
+    } else {
+      // The engine's supported kinds ignore live_copies_before (see
+      // ShardHistogramKind); 1 is the conservative "it existed" value.
+      histogram_->Delete(op.value, 1);
+    }
+  }
+  applied_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
+}  // namespace dynhist::engine

@@ -1,0 +1,84 @@
+// One ingest shard: a dynamic histogram behind a mutex, fed in batches.
+//
+// The shard is the engine's unit of write concurrency. Updates are pushed
+// into a small buffer under a cheap buffer lock; when the buffer reaches
+// the configured batch size, the pushing thread drains it into the
+// histogram under the (much more expensive) histogram lock. Histogram
+// maintenance — binary search, chi-square bookkeeping, occasional O(n)
+// repartitions — is thus paid once per batch_size operations per lock
+// acquisition, and threads updating different shards never contend at all.
+//
+// Ordering: the histogram lock is acquired while the buffer lock is still
+// held, so batches are applied in exactly the order they were filled.
+// Within a shard the applied operation sequence is therefore a
+// linearization of the push order, which keeps insert-before-delete
+// ordering for any single producer.
+
+#ifndef DYNHIST_ENGINE_SHARD_H_
+#define DYNHIST_ENGINE_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/data/update_stream.h"
+#include "src/engine/engine_options.h"
+#include "src/histogram/histogram.h"
+#include "src/histogram/model.h"
+
+namespace dynhist::engine {
+
+/// Builds the dynamic histogram a shard maintains, per the options.
+std::unique_ptr<Histogram> MakeShardHistogram(const EngineOptions& options);
+
+/// A mutex-protected dynamic histogram with a batched front buffer.
+class EngineShard {
+ public:
+  explicit EngineShard(const EngineOptions& options);
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  /// Enqueues one operation; drains the buffer into the histogram when it
+  /// reaches the batch size. Thread-safe.
+  void Push(const UpdateOp& op);
+
+  /// Enqueues many operations under one buffer-lock round; drains once if
+  /// the buffer reaches the batch size. Thread-safe.
+  void PushMany(const std::vector<UpdateOp>& ops);
+
+  /// Drains any buffered operations into the histogram. Thread-safe.
+  void Flush();
+
+  /// Flushes, then exports the shard histogram's model. Thread-safe.
+  HistogramModel ExportModel();
+
+  /// Flushes, then reports the histogram's live mass. Thread-safe.
+  double TotalCount();
+
+  /// Operations applied to the histogram so far (excludes still-buffered
+  /// ones). Monotone; approximate ordering only.
+  std::uint64_t applied_ops() const {
+    return applied_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Applies `batch` under hist_mu_ (already locked by the caller's
+  // std::unique_lock, passed to document the protocol).
+  void ApplyLocked(const std::vector<UpdateOp>& batch);
+
+  const int batch_size_;
+
+  std::mutex buffer_mu_;
+  std::vector<UpdateOp> buffer_;  // guarded by buffer_mu_
+
+  std::mutex hist_mu_;
+  std::unique_ptr<Histogram> histogram_;   // guarded by hist_mu_
+  std::atomic<std::uint64_t> applied_ops_{0};
+};
+
+}  // namespace dynhist::engine
+
+#endif  // DYNHIST_ENGINE_SHARD_H_

@@ -1,0 +1,72 @@
+// Immutable engine snapshots: the read side of the concurrent engine.
+//
+// A snapshot is a HistogramModel plus the epoch at which it was published.
+// The engine publishes snapshots by atomically swapping a shared_ptr, so a
+// reader's EngineSnapshot is a stable view: it stays valid and unchanged
+// for as long as the reader holds it, no matter how many updates or newer
+// publications happen concurrently. All estimation goes through the same
+// SelectivityEstimator front end single-threaded code uses.
+
+#ifndef DYNHIST_ENGINE_SNAPSHOT_H_
+#define DYNHIST_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/estimate/selectivity.h"
+#include "src/histogram/model.h"
+
+namespace dynhist::engine {
+
+/// A published model together with its publication epoch. Epoch 0 is the
+/// implicit empty snapshot a key has before its first publication.
+struct VersionedModel {
+  HistogramModel model;
+  std::uint64_t epoch = 0;
+};
+
+/// Shared, immutable view of one key's histogram at a publication epoch.
+/// Cheap to copy (one shared_ptr); safe to use from any thread.
+class EngineSnapshot {
+ public:
+  /// An empty epoch-0 snapshot (zero mass everywhere).
+  EngineSnapshot() : state_(std::make_shared<const VersionedModel>()) {}
+
+  explicit EngineSnapshot(std::shared_ptr<const VersionedModel> state)
+      : state_(std::move(state)) {}
+
+  /// Publication epoch; increments by 1 per publication of the key.
+  std::uint64_t epoch() const { return state_->epoch; }
+
+  /// The underlying immutable model.
+  const HistogramModel& model() const { return state_->model; }
+
+  /// Total mass the snapshot believes the key holds.
+  double TotalCount() const { return state_->model.TotalCount(); }
+
+  /// Estimated number of tuples with lo <= A <= hi.
+  double EstimateRange(std::int64_t lo, std::int64_t hi) const {
+    return SelectivityEstimator(state_->model).CardinalityRange(lo, hi);
+  }
+
+  /// Estimated number of tuples with A = v.
+  double EstimateEquals(std::int64_t v) const {
+    return SelectivityEstimator(state_->model).CardinalityEquals(v);
+  }
+
+  /// The above as result fractions of the relation.
+  double SelectivityRange(std::int64_t lo, std::int64_t hi) const {
+    return SelectivityEstimator(state_->model).SelectivityRange(lo, hi);
+  }
+  double SelectivityEquals(std::int64_t v) const {
+    return SelectivityEstimator(state_->model).SelectivityEquals(v);
+  }
+
+ private:
+  std::shared_ptr<const VersionedModel> state_;
+};
+
+}  // namespace dynhist::engine
+
+#endif  // DYNHIST_ENGINE_SNAPSHOT_H_

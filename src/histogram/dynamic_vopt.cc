@@ -249,6 +249,10 @@ void DynamicVOptHistogram::SplitAndMerge(std::size_t s, std::size_t m) {
                    (old_frags[f].right - old_frags[f].left);
     }
   }
+  // The overlap sum can exceed `total` by an ulp when the border lands at
+  // the far edge of the mass; the residue `total - left_mass` must never go
+  // negative (Model() requires non-negative piece counts).
+  left_mass = std::clamp(left_mass, 0.0, total);
   VBucket lo, hi;
   lo.left = old.left;
   lo.right = border;

@@ -1,0 +1,251 @@
+#include "src/engine/histogram_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/data/frequency_vector.h"
+#include "src/engine/engine_options.h"
+#include "src/engine/snapshot.h"
+#include "src/histogram/dynamic_vopt.h"
+#include "src/metrics/ks.h"
+#include "tests/test_util.h"
+
+namespace dynhist::engine {
+namespace {
+
+constexpr std::int64_t kDomain = 1'001;
+constexpr char kKey[] = "t.a";
+
+std::vector<std::int64_t> ZipfValues(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const ZipfDistribution zipf(static_cast<std::size_t>(kDomain), 1.0);
+  std::vector<std::int64_t> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<std::int64_t>(zipf.Sample(rng)));
+  }
+  return values;
+}
+
+EngineOptions TestOptions() {
+  EngineOptions options;
+  options.shards = 8;
+  options.batch_size = 16;
+  options.snapshot_every = 0;  // publish manually unless a test opts in
+  return options;
+}
+
+TEST(HistogramEngineTest, UnknownKeyYieldsEmptyEpochZeroSnapshot) {
+  HistogramEngine engine(TestOptions());
+  const EngineSnapshot snapshot = engine.Snapshot("nope");
+  EXPECT_EQ(snapshot.epoch(), 0u);
+  EXPECT_EQ(snapshot.TotalCount(), 0.0);
+  EXPECT_EQ(engine.EstimateRange("nope", 0, kDomain), 0.0);
+  EXPECT_EQ(engine.EstimateEquals("nope", 5), 0.0);
+}
+
+TEST(HistogramEngineTest, SingleThreadSnapshotKsCloseToDirectHistogram) {
+  const auto values = ZipfValues(20'000, /*seed=*/11);
+
+  HistogramEngine engine(TestOptions());
+  FrequencyVector truth(kDomain);
+  DynamicVOptHistogram direct(
+      DynamicVOptConfig{.buckets = 64, .policy = DeviationPolicy::kAbsolute});
+  for (const std::int64_t v : values) {
+    engine.Insert(kKey, v);
+    direct.Insert(v);
+    truth.Insert(v);
+  }
+
+  const EngineSnapshot snapshot = engine.RefreshSnapshot(kKey);
+  EXPECT_TRUE(testing::ModelIsValid(snapshot.model()));
+  EXPECT_NEAR(snapshot.TotalCount(), 20'000.0, 1.0);
+
+  const double ks_direct = KsStatistic(truth, direct.Model());
+  const double ks_engine = KsStatistic(truth, snapshot.model());
+  // The merged snapshot must be in the same accuracy class as the
+  // single histogram it replaces (the §8 merge is near-lossless).
+  EXPECT_LE(ks_engine, ks_direct + 0.05);
+  EXPECT_LT(ks_engine, 0.1);
+}
+
+TEST(HistogramEngineTest, EstimatesMatchSnapshotModel) {
+  HistogramEngine engine(TestOptions());
+  for (std::int64_t v = 0; v < 1'000; ++v) engine.Insert(kKey, v % 100);
+  const EngineSnapshot snapshot = engine.RefreshSnapshot(kKey);
+  EXPECT_DOUBLE_EQ(engine.EstimateRange(kKey, 0, 99),
+                   snapshot.EstimateRange(0, 99));
+  EXPECT_NEAR(engine.EstimateRange(kKey, 0, 99), 1'000.0, 1.0);
+  EXPECT_DOUBLE_EQ(engine.EstimateEquals(kKey, 5),
+                   snapshot.EstimateEquals(5));
+}
+
+TEST(HistogramEngineTest, HeldSnapshotIsImmutableUnderLaterUpdates) {
+  HistogramEngine engine(TestOptions());
+  for (const std::int64_t v : ZipfValues(5'000, 3)) engine.Insert(kKey, v);
+  const EngineSnapshot held = engine.RefreshSnapshot(kKey);
+  const double held_total = held.TotalCount();
+  const double held_estimate = held.EstimateRange(0, kDomain - 1);
+  const std::uint64_t held_epoch = held.epoch();
+  ASSERT_EQ(held_epoch, 1u);
+
+  for (const std::int64_t v : ZipfValues(5'000, 4)) engine.Insert(kKey, v);
+  const EngineSnapshot fresh = engine.RefreshSnapshot(kKey);
+
+  EXPECT_EQ(held.epoch(), held_epoch);
+  EXPECT_DOUBLE_EQ(held.TotalCount(), held_total);
+  EXPECT_DOUBLE_EQ(held.EstimateRange(0, kDomain - 1), held_estimate);
+  EXPECT_EQ(fresh.epoch(), 2u);
+  EXPECT_NEAR(fresh.TotalCount(), 2.0 * held_total, 1.0);
+}
+
+TEST(HistogramEngineTest, AutoPublishFollowsSnapshotCadence) {
+  EngineOptions options = TestOptions();
+  options.snapshot_every = 1'000;
+  HistogramEngine engine(options);
+  for (const std::int64_t v : ZipfValues(5'500, 5)) engine.Insert(kKey, v);
+  const EngineSnapshot snapshot = engine.Snapshot(kKey);
+  EXPECT_GE(snapshot.epoch(), 4u);  // ~5 cadence crossings
+  EXPECT_GE(snapshot.TotalCount(), 4'000.0);
+  EXPECT_GE(engine.Stats().publishes, 4u);
+}
+
+TEST(HistogramEngineTest, InsertBatchMatchesLoopInserts) {
+  const auto values = ZipfValues(10'000, 6);
+  HistogramEngine loop_engine(TestOptions());
+  HistogramEngine batch_engine(TestOptions());
+  for (const std::int64_t v : values) loop_engine.Insert(kKey, v);
+  batch_engine.InsertBatch(kKey, values);
+  EXPECT_DOUBLE_EQ(loop_engine.LiveTotalCount(kKey),
+                   batch_engine.LiveTotalCount(kKey));
+  const double a =
+      loop_engine.RefreshSnapshot(kKey).EstimateRange(0, kDomain / 2);
+  const double b =
+      batch_engine.RefreshSnapshot(kKey).EstimateRange(0, kDomain / 2);
+  EXPECT_NEAR(a, b, 1e-6);
+}
+
+TEST(HistogramEngineTest, DynamicCompressedKindWorks) {
+  EngineOptions options = TestOptions();
+  options.kind = ShardHistogramKind::kDynamicCompressed;
+  HistogramEngine engine(options);
+  FrequencyVector truth(kDomain);
+  for (const std::int64_t v : ZipfValues(20'000, 7)) {
+    engine.Insert(kKey, v);
+    truth.Insert(v);
+  }
+  const EngineSnapshot snapshot = engine.RefreshSnapshot(kKey);
+  EXPECT_NEAR(snapshot.TotalCount(), 20'000.0, 1.0);
+  EXPECT_LT(KsStatistic(truth, snapshot.model()), 0.1);
+}
+
+TEST(HistogramEngineTest, MultipleKeysAreIndependent) {
+  HistogramEngine engine(TestOptions());
+  engine.Insert("a", 1);
+  engine.Insert("b", 2);
+  engine.Insert("b", 3);
+  EXPECT_DOUBLE_EQ(engine.LiveTotalCount("a"), 1.0);
+  EXPECT_DOUBLE_EQ(engine.LiveTotalCount("b"), 2.0);
+  EXPECT_EQ(engine.Stats().keys, 2u);
+}
+
+// N writers + M readers; writers also delete ~25% of their own inserts
+// (the §7.3.1 mixed workload). Final mass must equal inserted - deleted
+// exactly, and no reader may ever observe a torn or invalid snapshot.
+TEST(HistogramEngineTest, ConcurrentWritersAndReadersConserveMass) {
+  EngineOptions options = TestOptions();
+  options.snapshot_every = 2'000;
+  HistogramEngine engine(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr std::int64_t kPerWriter = 10'000;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> net_mass{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(static_cast<std::uint64_t>(w) + 100);
+      const ZipfDistribution zipf(static_cast<std::size_t>(kDomain), 1.0);
+      std::vector<std::int64_t> own;  // values this writer has inserted
+      std::int64_t net = 0;
+      for (std::int64_t i = 0; i < kPerWriter; ++i) {
+        const auto v = static_cast<std::int64_t>(zipf.Sample(rng));
+        engine.Insert(kKey, v);
+        own.push_back(v);
+        ++net;
+        if (!own.empty() && rng.Bernoulli(0.25)) {
+          const std::size_t pick = static_cast<std::size_t>(
+              rng.UniformInt(static_cast<std::uint64_t>(own.size())));
+          engine.Delete(kKey, own[pick]);
+          own[pick] = own.back();
+          own.pop_back();
+          --net;
+        }
+      }
+      net_mass.fetch_add(net);
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(static_cast<std::uint64_t>(r) + 900);
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EngineSnapshot snapshot = engine.Snapshot(kKey);
+        // Epochs never go backwards from a reader's point of view.
+        EXPECT_GE(snapshot.epoch(), last_epoch);
+        last_epoch = snapshot.epoch();
+        EXPECT_TRUE(testing::ModelIsValid(snapshot.model()));
+        const std::int64_t lo = rng.UniformInt(0, kDomain - 1);
+        const double estimate =
+            snapshot.EstimateRange(lo, kDomain - 1);
+        EXPECT_GE(estimate, 0.0);
+        EXPECT_TRUE(std::isfinite(estimate));
+        EXPECT_LE(estimate, snapshot.TotalCount() + 1e-9);
+      }
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Exact conservation through buffers, shards, and concurrent publishes.
+  EXPECT_DOUBLE_EQ(engine.LiveTotalCount(kKey),
+                   static_cast<double>(net_mass.load()));
+  const EngineSnapshot final_snapshot = engine.RefreshSnapshot(kKey);
+  EXPECT_NEAR(final_snapshot.TotalCount(),
+              static_cast<double>(net_mass.load()), 1.0);
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.inserts, static_cast<std::uint64_t>(kWriters * kPerWriter));
+  EXPECT_GE(stats.publishes, 1u);
+}
+
+TEST(HistogramEngineTest, BackgroundThreadPublishesWithoutManualRefresh) {
+  EngineOptions options = TestOptions();
+  options.background_interval_ms = 5;
+  HistogramEngine engine(options);
+  for (const std::int64_t v : ZipfValues(2'000, 8)) engine.Insert(kKey, v);
+  engine.FlushAll();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine.Snapshot(kKey).epoch() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const EngineSnapshot snapshot = engine.Snapshot(kKey);
+  EXPECT_GE(snapshot.epoch(), 1u);
+  EXPECT_NEAR(snapshot.TotalCount(), 2'000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dynhist::engine
