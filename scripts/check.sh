@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
 # One-command regression check: configure, build, run the full test suite,
-# then smoke-run the concurrent-engine micro-benchmark in quick mode.
+# then smoke-run the merge-pipeline and concurrent-engine micro-benchmarks
+# in quick mode (micro_merge_pipeline exits nonzero if the publish-path
+# speedup or parity criteria regress).
 #
-# Usage: scripts/check.sh [build_dir]     (default build dir: build)
+# Usage: scripts/check.sh [--bench-json] [build_dir]
+#   (default build dir: build)
 #
-# This is the tier-1 sequence from ROADMAP.md plus the engine bench, so a
-# single run catches build breaks, unit/concurrency regressions, and gross
-# engine throughput/accuracy regressions. The bench's --json lines can be
-# appended to BENCH_*.json trajectory files.
+# --bench-json additionally captures the benches' machine-readable series
+# (one JSON object per line) into BENCH_PR2.json at the repo root, seeding
+# the perf-trajectory record future PRs append to.
+#
+# This is the tier-1 sequence from ROADMAP.md plus the benches, so a single
+# run catches build breaks, unit/concurrency regressions, and gross
+# merge-pipeline / engine throughput / accuracy regressions.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+BENCH_JSON=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --bench-json) BENCH_JSON=1 ;;
+    --*) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 echo "== configure =="
@@ -24,7 +39,28 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+run_bench() {
+  # Runs a bench, teeing its stdout; with --bench-json the JSON series
+  # lines (and only those) are appended to BENCH_PR2.json.
+  if [[ "$BENCH_JSON" == 1 ]]; then
+    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR2.json
+  else
+    "$@"
+  fi
+}
+
+if [[ "$BENCH_JSON" == 1 ]]; then
+  : > BENCH_PR2.json
+fi
+
+echo "== merge-pipeline micro-bench (quick) =="
+run_bench "$BUILD_DIR/micro_merge_pipeline" --quick
+
 echo "== engine micro-bench (quick) =="
-"$BUILD_DIR/micro_engine_throughput" --quick --json
+run_bench "$BUILD_DIR/micro_engine_throughput" --quick
+
+if [[ "$BENCH_JSON" == 1 ]]; then
+  echo "== bench series written to BENCH_PR2.json =="
+fi
 
 echo "== check.sh: all green =="

@@ -58,6 +58,25 @@ struct EngineOptions {
   /// DVO/DADO only: equal-width sub-buckets per bucket (§4).
   int sub_buckets = 2;
 
+  /// Sort each drained shard batch by value and collapse duplicate values
+  /// into weighted InsertN/DeleteN calls (inserts before deletes per
+  /// value), so batch cost tracks distinct values rather than operations —
+  /// a large win for skewed streams. Coalescing reorders operations across
+  /// values inside one batch and takes weighted maintenance steps, so the
+  /// exact bucket-border trajectory differs from a one-by-one replay
+  /// (estimation quality and total mass do not). Disable for op-order
+  /// faithful replay.
+  bool coalesce_batches = true;
+
+  /// Publish-path reduction flavor: false (default) feeds the superimposed
+  /// composite's pieces directly to SSBM (cost O(pieces), independent of
+  /// the attribute domain); true rasterizes the composite to integer cells
+  /// first — the legacy O(domain) path, kept for parity testing against
+  /// the paper's literal §8 construction. Flip it only to diagnose a
+  /// suspected piece-path regression; at large domains legacy publishes
+  /// are orders of magnitude slower and run on writer threads.
+  bool use_legacy_cell_reduce = false;
+
   /// When positive, a background thread republishes every key's snapshot
   /// at this cadence (skipping keys with no new updates). 0 disables the
   /// thread; publication is then driven by `snapshot_every` and

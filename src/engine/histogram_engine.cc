@@ -220,17 +220,17 @@ EngineSnapshot HistogramEngine::Publish(
   const std::uint64_t watermark =
       state.update_count.load(std::memory_order_relaxed);
 
-  std::vector<HistogramModel> models;
-  models.reserve(state.shards.size());
+  std::vector<HistogramModel>& models = state.model_scratch;
+  models.clear();
   for (const auto& shard : state.shards) {
     HistogramModel model = shard->ExportModel();
     if (!model.Empty()) models.push_back(std::move(model));
   }
 
-  HistogramModel merged = distributed::Superimpose(models);
-  if (options_.merged_buckets > 0 && !merged.Empty()) {
-    merged = distributed::ReduceWithSsbm(merged, options_.merged_buckets);
-  }
+  HistogramModel merged = state.merger.MergeAndReduce(
+      models, options_.merged_buckets,
+      options_.use_legacy_cell_reduce ? distributed::ReduceMode::kCells
+                                      : distributed::ReduceMode::kPieces);
 
   const std::uint64_t epoch =
       state.epoch.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/distributed/global_histogram.h"
 #include "src/engine/engine_options.h"
 #include "src/engine/shard.h"
 #include "src/engine/snapshot.h"
@@ -131,6 +132,13 @@ class HistogramEngine {
     std::mutex publish_mu;  // serializes merges of this key
     std::atomic<std::uint64_t> epoch{0};
     std::atomic<std::shared_ptr<const VersionedModel>> published;
+
+    // Publish-path scratch reused across epochs (guarded by publish_mu):
+    // the exported shard models and the merger's sweep/reduction buffers,
+    // so a steady-state publisher allocates nothing proportional to the
+    // shard count or piece count.
+    std::vector<HistogramModel> model_scratch;
+    distributed::SnapshotMerger merger;
   };
 
   // Finds the key's state, creating it on the update path. Never returns

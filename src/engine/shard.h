@@ -66,10 +66,21 @@ class EngineShard {
 
  private:
   // Applies `batch` under hist_mu_ (already locked by the caller's
-  // std::unique_lock, passed to document the protocol).
+  // std::unique_lock, passed to document the protocol). With coalescing
+  // enabled, duplicate values collapse into weighted InsertN/DeleteN
+  // calls (inserts first per value, groups in first-occurrence order, via
+  // a sorted index scratch — the batch itself is not reordered), so the
+  // histogram pays one maintenance step per distinct value; otherwise ops
+  // replay one by one in push order.
   void ApplyLocked(const std::vector<UpdateOp>& batch);
 
+  // Coalesces batch[begin, end) by value and applies the weighted groups
+  // in first-occurrence order (under hist_mu_).
+  void CoalesceAndApply(const std::vector<UpdateOp>& batch, std::size_t begin,
+                        std::size_t end);
+
   const int batch_size_;
+  const bool coalesce_;
 
   std::mutex buffer_mu_;
   std::vector<UpdateOp> buffer_;  // guarded by buffer_mu_
@@ -77,6 +88,18 @@ class EngineShard {
   std::mutex hist_mu_;
   std::unique_ptr<Histogram> histogram_;   // guarded by hist_mu_
   std::atomic<std::uint64_t> applied_ops_{0};
+
+  // One coalesced group: `inserts`/`deletes` operations on `value`, first
+  // seen at batch position `first`.
+  struct Group {
+    std::int64_t value = 0;
+    std::uint32_t first = 0;
+    std::int64_t inserts = 0;
+    std::int64_t deletes = 0;
+  };
+  // Coalescing scratch, reused across batches (guarded by hist_mu_).
+  std::vector<std::uint32_t> idx_scratch_;
+  std::vector<Group> group_scratch_;
 };
 
 }  // namespace dynhist::engine

@@ -140,9 +140,16 @@ void DynamicCompressedHistogram::RebuildChiSquareAccumulators() {
 }
 
 void DynamicCompressedHistogram::Insert(std::int64_t value) {
+  InsertN(value, 1);
+}
+
+void DynamicCompressedHistogram::InsertN(std::int64_t value,
+                                         std::int64_t count) {
+  if (count <= 0) return;
+  const auto weight = static_cast<double>(count);
   if (loading_) {
-    loading_counts_[value] += 1.0;
-    total_ += 1.0;
+    loading_counts_[value] += weight;
+    total_ += weight;
     FinishLoadingIfReady();
     return;
   }
@@ -173,8 +180,75 @@ void DynamicCompressedHistogram::Insert(std::int64_t value) {
   } else {
     index = FindBucket(value);
   }
-  AddToBucket(index, +1.0);
+  AddToBucket(index, +weight);
   if (ChiSquareTriggered()) Repartition();
+}
+
+std::size_t DynamicCompressedHistogram::NearestBucketWithWholePoint(
+    std::size_t index, std::int64_t value) const {
+  const double x = static_cast<double>(value);
+  const auto distance_to = [&](std::size_t i) {
+    const double right =
+        (i + 1 < buckets_.size()) ? buckets_[i + 1].left : right_edge_;
+    return x < buckets_[i].left ? buckets_[i].left - x
+           : x >= right         ? x - right
+                                : 0.0;
+  };
+  // Buckets tile the axis, so the distance grows strictly as the walk moves
+  // away from `index` on either side: each side stops at its first bucket
+  // holding a whole point, and is abandoned once even its nearest
+  // unexplored bucket cannot beat the current best. Ties keep the lower
+  // index, exactly like the full scan this replaces.
+  std::size_t best = buckets_.size();
+  double best_distance = 0.0;
+  std::int64_t lo = static_cast<std::int64_t>(index);
+  std::size_t hi = index + 1;
+  bool lo_done = false;
+  bool hi_done = false;
+  while (!lo_done || !hi_done) {
+    if (!lo_done) {
+      if (lo < 0) {
+        lo_done = true;
+      } else {
+        const auto i = static_cast<std::size_t>(lo);
+        const double d = distance_to(i);
+        if (best < buckets_.size() && d > best_distance) {
+          lo_done = true;
+        } else if (buckets_[i].count >= 1.0) {
+          best = i;
+          best_distance = d;
+          lo_done = true;
+        } else {
+          --lo;
+        }
+      }
+    }
+    if (!hi_done) {
+      if (hi >= buckets_.size()) {
+        hi_done = true;
+      } else if (best < buckets_.size() &&
+                 distance_to(hi) >= best_distance) {
+        hi_done = true;
+      } else if (buckets_[hi].count >= 1.0) {
+        best = hi;
+        best_distance = distance_to(hi);
+        hi_done = true;
+      } else {
+        ++hi;
+      }
+    }
+  }
+  if (best == buckets_.size()) {
+    // Less than one point of mass anywhere (heavy clamped deletions);
+    // take it from the fullest bucket, clamped at zero.
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (best == buckets_.size() ||
+          buckets_[i].count > buckets_[best].count) {
+        best = i;
+      }
+    }
+  }
+  return best;
 }
 
 void DynamicCompressedHistogram::Delete(std::int64_t value,
@@ -191,35 +265,35 @@ void DynamicCompressedHistogram::Delete(std::int64_t value,
   if (buckets_[index].count < 1.0) {
     // The bucket has spilled its mass elsewhere; remove the point from the
     // closest bucket that still has a whole point of mass (§7.3).
-    std::size_t best = buckets_.size();
-    double best_distance = 0.0;
-    const double x = static_cast<double>(value);
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      if (buckets_[i].count < 1.0) continue;
-      const double right =
-          (i + 1 < buckets_.size()) ? buckets_[i + 1].left : right_edge_;
-      const double distance = x < buckets_[i].left ? buckets_[i].left - x
-                              : x >= right         ? x - right
-                                                   : 0.0;
-      if (best == buckets_.size() || distance < best_distance) {
-        best = i;
-        best_distance = distance;
-      }
-    }
-    if (best == buckets_.size()) {
-      // Less than one point of mass anywhere (heavy clamped deletions);
-      // take it from the fullest bucket, clamped at zero.
-      for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        if (best == buckets_.size() ||
-            buckets_[i].count > buckets_[best].count) {
-          best = i;
-        }
-      }
-    }
-    index = best;
+    index = NearestBucketWithWholePoint(index, value);
   }
   AddToBucket(index, -1.0);
   if (ChiSquareTriggered()) Repartition();
+}
+
+void DynamicCompressedHistogram::DeleteN(std::int64_t value,
+                                         std::int64_t count) {
+  if (count <= 0) return;
+  const auto weight = static_cast<double>(count);
+  if (loading_) {
+    auto it = loading_counts_.find(value);
+    DH_CHECK(it != loading_counts_.end() && it->second >= weight);
+    it->second -= weight;
+    total_ -= weight;
+    if (it->second == 0.0) loading_counts_.erase(it);
+    return;
+  }
+  const std::size_t index = FindBucket(value);
+  if (buckets_[index].count >= weight) {
+    // The whole group fits in the value's own bucket: one weighted step,
+    // one chi-square check.
+    AddToBucket(index, -weight);
+    if (ChiSquareTriggered()) Repartition();
+    return;
+  }
+  // Some of the group must spill to neighbors; replay per point so each
+  // deletion picks its nearest remaining whole point (§7.3).
+  for (std::int64_t i = 0; i < count; ++i) Delete(value, 1);
 }
 
 void DynamicCompressedHistogram::Repartition() {

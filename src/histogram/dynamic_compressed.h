@@ -45,6 +45,8 @@ class DynamicCompressedHistogram final : public Histogram {
 
   void Insert(std::int64_t value) override;
   void Delete(std::int64_t value, std::int64_t live_copies_before) override;
+  void InsertN(std::int64_t value, std::int64_t count) override;
+  void DeleteN(std::int64_t value, std::int64_t count) override;
   HistogramModel Model() const override;
   double TotalCount() const override { return total_; }
   std::string Name() const override { return "DC"; }
@@ -69,6 +71,12 @@ class DynamicCompressedHistogram final : public Histogram {
 
   void FinishLoadingIfReady();
   std::size_t FindBucket(std::int64_t value) const;
+  // The closest bucket to `value` that still holds a whole point of mass
+  // (§7.3 deletion spill target), found by walking outward from the
+  // value's bucket — O(distance to the target), not O(buckets). Falls back
+  // to the fullest bucket when no bucket holds a whole point.
+  std::size_t NearestBucketWithWholePoint(std::size_t index,
+                                          std::int64_t value) const;
   void AddToBucket(std::size_t index, double delta);
   bool ChiSquareTriggered() const;
   void Repartition();

@@ -269,8 +269,8 @@ void DynamicVOptHistogram::SplitAndMerge(std::size_t s, std::size_t m) {
   ++repartitions_;
 }
 
-void DynamicVOptHistogram::MaybeRepartition() {
-  if (buckets_.size() < 3) return;
+bool DynamicVOptHistogram::MaybeRepartition() {
+  if (buckets_.size() < 3) return false;
   // Theorem 4.1: the best split candidate is the bucket with the largest
   // rho (among splittable buckets), and the best merge candidate is the
   // adjacent pair with the smallest merged rho.
@@ -283,7 +283,7 @@ void DynamicVOptHistogram::MaybeRepartition() {
       best_s_rho = rho_[i];
     }
   }
-  if (best_s == buckets_.size() || best_s_rho <= 0.0) return;
+  if (best_s == buckets_.size() || best_s_rho <= 0.0) return false;
 
   // Best merge pair that does not involve the split bucket (the split and
   // the merge must operate on disjoint buckets to be executable).
@@ -296,30 +296,44 @@ void DynamicVOptHistogram::MaybeRepartition() {
       best_m = i;
     }
   }
-  if (best_m == buckets_.size()) return;
+  if (best_m == buckets_.size()) return false;
 
   // Execute only if the swap strictly improves the objective
   // (min delta-rho = rho_M - rho_S < 0).
-  if (best_s_rho > best_m_rho) SplitAndMerge(best_s, best_m);
+  if (best_s_rho <= best_m_rho) return false;
+  SplitAndMerge(best_s, best_m);
+  return true;
+}
+
+void DynamicVOptHistogram::RepartitionUpTo(std::int64_t count) {
+  for (std::int64_t i = 0; i < count && MaybeRepartition(); ++i) {
+  }
 }
 
 void DynamicVOptHistogram::Insert(std::int64_t value) {
+  InsertN(value, 1);
+}
+
+void DynamicVOptHistogram::InsertN(std::int64_t value, std::int64_t count) {
+  if (count <= 0) return;
+  const auto weight = static_cast<double>(count);
   if (loading_) {
-    loading_counts_[value] += 1.0;
-    total_ += 1.0;
+    loading_counts_[value] += weight;
+    total_ += weight;
     FinishLoadingIfReady();
     return;
   }
-  total_ += 1.0;
+  total_ += weight;
   const double x = static_cast<double>(value);
   if (x < buckets_.front().left || x >= buckets_.back().right) {
     // "Create a new bucket just for this point" — it borrows a bucket that
-    // is immediately paid back by merging the globally best pair.
+    // is immediately paid back by merging the globally best pair. A
+    // weighted group lands in the new bucket whole.
     VBucket nb;
     if (x < buckets_.front().left) {
       nb.left = x;
       nb.right = buckets_.front().left;
-      nb.sub[static_cast<std::size_t>(SubIndexFor(nb, value))] = 1.0;
+      nb.sub[static_cast<std::size_t>(SubIndexFor(nb, value))] = weight;
       buckets_.insert(buckets_.begin(), nb);
       rho_.insert(rho_.begin(), 0.0);
       pair_rho_.insert(pair_rho_.begin(), kInf);
@@ -327,7 +341,7 @@ void DynamicVOptHistogram::Insert(std::int64_t value) {
     } else {
       nb.left = buckets_.back().right;
       nb.right = x + 1.0;
-      nb.sub[static_cast<std::size_t>(SubIndexFor(nb, value))] = 1.0;
+      nb.sub[static_cast<std::size_t>(SubIndexFor(nb, value))] = weight;
       buckets_.push_back(nb);
       rho_.push_back(0.0);
       pair_rho_.push_back(kInf);
@@ -346,9 +360,39 @@ void DynamicVOptHistogram::Insert(std::int64_t value) {
   }
   const std::size_t index = FindBucketIndex(x);
   VBucket& b = buckets_[index];
-  b.sub[static_cast<std::size_t>(SubIndexFor(b, value))] += 1.0;
+  b.sub[static_cast<std::size_t>(SubIndexFor(b, value))] += weight;
   RefreshCachesAround(index);
-  MaybeRepartition();
+  RepartitionUpTo(count);
+}
+
+void DynamicVOptHistogram::DeleteN(std::int64_t value, std::int64_t count) {
+  if (count <= 0) return;
+  const auto weight = static_cast<double>(count);
+  if (loading_) {
+    auto it = loading_counts_.find(value);
+    DH_CHECK(it != loading_counts_.end() && it->second >= weight);
+    it->second -= weight;
+    total_ -= weight;
+    if (it->second == 0.0) loading_counts_.erase(it);
+    return;
+  }
+  const double x = static_cast<double>(value);
+  const std::size_t index = FindBucketIndex(std::clamp(
+      x, buckets_.front().left, buckets_.back().right - 1e-9));
+  VBucket& b = buckets_[index];
+  double& c = b.sub[static_cast<std::size_t>(SubIndexFor(b, value))];
+  if (c >= weight) {
+    // The whole group comes out of the value's own counter: one weighted
+    // step, one repartition check.
+    c -= weight;
+    total_ -= weight;
+    RefreshCachesAround(index);
+    RepartitionUpTo(count);
+    return;
+  }
+  // Some of the group must spill to other counters; replay per point so
+  // each deletion spirals outward from its own counter (§7.3).
+  for (std::int64_t i = 0; i < count; ++i) Delete(value, 1);
 }
 
 void DynamicVOptHistogram::Delete(std::int64_t value,

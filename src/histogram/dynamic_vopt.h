@@ -55,6 +55,8 @@ class DynamicVOptHistogram final : public Histogram {
 
   void Insert(std::int64_t value) override;
   void Delete(std::int64_t value, std::int64_t live_copies_before) override;
+  void InsertN(std::int64_t value, std::int64_t count) override;
+  void DeleteN(std::int64_t value, std::int64_t count) override;
   HistogramModel Model() const override;
   double TotalCount() const override { return total_; }
   std::string Name() const override {
@@ -117,7 +119,12 @@ class DynamicVOptHistogram final : public Histogram {
   // Executes the split of bucket `s` and the merge of pair (m, m+1).
   void SplitAndMerge(std::size_t s, std::size_t m);
   void MergePair(std::size_t m);
-  void MaybeRepartition();
+  // Runs one split+merge if it strictly improves the objective; returns
+  // whether it did. Weighted updates call it up to `count` times so a
+  // coalesced group gets the same repartition opportunities as a
+  // one-by-one replay.
+  bool MaybeRepartition();
+  void RepartitionUpTo(std::int64_t count);
 
   // Fills `b.sub` with `total` spread equally (the paper's post-split
   // state: equal sub-counts, zero rho).

@@ -35,6 +35,25 @@ class Histogram {
   virtual void Delete(std::int64_t value,
                       std::int64_t live_copies_before) = 0;
 
+  /// Records `count` insertions of `value`. Semantically equivalent to
+  /// calling Insert() `count` times; the aggregate-tracking classes
+  /// override it to absorb the whole group in one maintenance step, which
+  /// is what makes coalesced engine batches cost O(distinct values)
+  /// instead of O(operations). A weighted step may take a different
+  /// maintenance trajectory (repartition trigger points) than the
+  /// one-by-one replay; total mass and estimation quality are unaffected.
+  virtual void InsertN(std::int64_t value, std::int64_t count) {
+    for (std::int64_t i = 0; i < count; ++i) Insert(value);
+  }
+
+  /// Records `count` deletions of `value`. Equivalent to `count` Delete()
+  /// calls with the conservative live-copies value of 1 (the engine's
+  /// convention; see Delete). Overrides fall back to per-operation deletes
+  /// whenever the weighted fast path cannot remove the full `count`.
+  virtual void DeleteN(std::int64_t value, std::int64_t count) {
+    for (std::int64_t i = 0; i < count; ++i) Delete(value, 1);
+  }
+
   /// Exports the current estimation snapshot.
   virtual HistogramModel Model() const = 0;
 

@@ -11,18 +11,24 @@ namespace dynhist {
 
 namespace {
 
-// Live bucket state during merging. Extents are *data* extents
-// [first value, last value + 1); the gap between two buckets joins the
-// merged bucket's extent when they merge (its zero frequencies then count
-// toward the deviation, per Eq. 3/5 with j over all domain values). The
-// exported model uses the storage convention of ModelFromSlices.
+using Slice = HistogramModel::Piece;
+
+// Live bucket state during merging, over piecewise-uniform input slices (a
+// distinct integer value is the width-1 slice [v, v+1)). Extents are *data*
+// extents [first slice left, last slice right); the gap between two buckets
+// joins the merged bucket's extent when they merge (its zero density then
+// counts toward the deviation, per Eq. 3/5 with j over all domain values).
+// `sum_dsq` is the integral of the squared density over the covered slices,
+// which for width-1 slices is exactly the paper's sum of squared
+// frequencies — so unit-slice input reproduces the per-value algorithm bit
+// for bit. The exported model uses the convention of ModelFromPieceSlices.
 struct MergeBucket {
   std::size_t first_entry = 0;
   std::size_t last_entry = 0;
-  double left = 0.0;   // value of first entry
-  double right = 0.0;  // value of last entry + 1
-  double total = 0.0;  // sum of frequencies
-  double sum_sq = 0.0; // sum of squared frequencies
+  double left = 0.0;    // left border of the first slice
+  double right = 0.0;   // right border of the last slice
+  double total = 0.0;   // sum of slice counts
+  double sum_dsq = 0.0; // integral of density^2 over the covered slices
   std::int64_t prev = -1;
   std::int64_t next = -1;
   std::uint32_t version = 0;
@@ -31,28 +37,29 @@ struct MergeBucket {
 
 double SquaredDeviation(const MergeBucket& b) {
   const double width = b.right - b.left;
-  return std::max(0.0, b.sum_sq - b.total * b.total / width);
+  return std::max(0.0, b.sum_dsq - b.total * b.total / width);
 }
 
-// Absolute deviation requires the individual frequencies; O(span).
+// Absolute deviation requires the individual densities; O(span).
 double AbsoluteDeviation(const MergeBucket& b,
-                         const std::vector<ValueFreq>& entries) {
+                         const std::vector<Slice>& slices) {
   const double width = b.right - b.left;
   const double avg = b.total / width;
   double dev = 0.0;
-  double nonzero = 0.0;
+  double covered = 0.0;
   for (std::size_t i = b.first_entry; i <= b.last_entry; ++i) {
-    dev += std::fabs(entries[i].freq - avg);
-    nonzero += 1.0;
+    const double w = slices[i].Width();
+    dev += w * std::fabs(slices[i].count / w - avg);
+    covered += w;
   }
-  dev += (width - nonzero) * avg;  // gap zeros deviate by avg each
+  dev += (width - covered) * avg;  // gap zeros deviate by avg each
   return dev;
 }
 
-double Deviation(const MergeBucket& b, const std::vector<ValueFreq>& entries,
+double Deviation(const MergeBucket& b, const std::vector<Slice>& slices,
                  DeviationPolicy policy) {
   return policy == DeviationPolicy::kSquared ? SquaredDeviation(b)
-                                             : AbsoluteDeviation(b, entries);
+                                             : AbsoluteDeviation(b, slices);
 }
 
 MergeBucket Merged(const MergeBucket& a, const MergeBucket& b) {
@@ -63,29 +70,43 @@ MergeBucket Merged(const MergeBucket& a, const MergeBucket& b) {
   m.left = a.left;
   m.right = b.right;
   m.total = a.total + b.total;
-  m.sum_sq = a.sum_sq + b.sum_sq;
+  m.sum_dsq = a.sum_dsq + b.sum_dsq;
   return m;
+}
+
+bool IsSingular(const std::vector<Slice>& slices, const MergeBucket& b) {
+  return b.first_entry == b.last_entry &&
+         slices[b.first_entry].Width() == 1.0;
 }
 
 }  // namespace
 
-HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
+HistogramModel BuildSsbm(const std::vector<Slice>& slices,
                          std::int64_t buckets, const SsbmOptions& options) {
   DH_CHECK(buckets >= 1);
-  if (entries.empty()) return HistogramModel();
-  const std::size_t d = entries.size();
+  if (slices.empty()) return HistogramModel();
+  const std::size_t d = slices.size();
+  for (std::size_t i = 0; i < d; ++i) {
+    DH_CHECK(slices[i].right > slices[i].left && slices[i].count >= 0.0);
+    // Same overlap tolerance as the HistogramModel constructor.
+    if (i > 0) DH_CHECK(slices[i].left >= slices[i - 1].right - 1e-9);
+  }
   if (static_cast<std::size_t>(buckets) >= d) {
-    return internal::ExactModel(entries);
+    std::vector<internal::BucketSlice> out(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      out[i] = {i, i, /*singular=*/slices[i].Width() == 1.0};
+    }
+    return internal::ModelFromPieceSlices(slices, out);
   }
 
-  // The exact histogram: one width-1 bucket per distinct value (rho = 0).
+  // The exact histogram: one bucket per input slice (rho = 0).
   std::vector<MergeBucket> bucket(d);
   for (std::size_t i = 0; i < d; ++i) {
     bucket[i].first_entry = bucket[i].last_entry = i;
-    bucket[i].left = static_cast<double>(entries[i].value);
-    bucket[i].right = bucket[i].left + 1.0;
-    bucket[i].total = entries[i].freq;
-    bucket[i].sum_sq = entries[i].freq * entries[i].freq;
+    bucket[i].left = slices[i].left;
+    bucket[i].right = slices[i].right;
+    bucket[i].total = slices[i].count;
+    bucket[i].sum_dsq = slices[i].count * slices[i].count / slices[i].Width();
     bucket[i].prev = static_cast<std::int64_t>(i) - 1;
     bucket[i].next = (i + 1 < d) ? static_cast<std::int64_t>(i) + 1 : -1;
   }
@@ -93,12 +114,12 @@ HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
   const auto merge_key = [&](const MergeBucket& a,
                              const MergeBucket& b) -> double {
     const MergeBucket m = Merged(a, b);
-    const double rho_m = Deviation(m, entries, options.policy);
+    const double rho_m = Deviation(m, slices, options.policy);
     if (options.merge_key == SsbmOptions::MergeKey::kMergedDeviation) {
       return rho_m;
     }
-    return rho_m - Deviation(a, entries, options.policy) -
-           Deviation(b, entries, options.policy);
+    return rho_m - Deviation(a, slices, options.policy) -
+           Deviation(b, slices, options.policy);
   };
 
   if (options.use_quadratic_scan) {
@@ -136,15 +157,14 @@ HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
       }
       --live;
     }
-    std::vector<internal::BucketSlice> slices;
+    std::vector<internal::BucketSlice> out;
     for (std::int64_t i = 0; i >= 0;
          i = bucket[static_cast<std::size_t>(i)].next) {
       const MergeBucket& b = bucket[static_cast<std::size_t>(i)];
-      slices.push_back({b.first_entry, b.last_entry,
-                        b.first_entry == b.last_entry});
+      out.push_back({b.first_entry, b.last_entry, IsSingular(slices, b)});
     }
-    DH_CHECK(slices.size() == static_cast<std::size_t>(buckets));
-    return internal::ModelFromSlices(entries, slices);
+    DH_CHECK(out.size() == static_cast<std::size_t>(buckets));
+    return internal::ModelFromPieceSlices(slices, out);
   }
 
   // Lazy min-heap of merge candidates; stale entries (version mismatch)
@@ -194,9 +214,9 @@ HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
     push_candidate(c.left_id);
   }
 
-  // Export surviving buckets as entry slices in value order.
-  std::vector<internal::BucketSlice> slices;
-  slices.reserve(live);
+  // Export surviving buckets as slice ranges in value order.
+  std::vector<internal::BucketSlice> out;
+  out.reserve(live);
   std::int64_t id = 0;
   while (id >= 0 && !bucket[static_cast<std::size_t>(id)].alive) ++id;
   // The head is always bucket 0 (merges fold right buckets into left ones).
@@ -205,11 +225,21 @@ HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
        i = bucket[static_cast<std::size_t>(i)].next) {
     const MergeBucket& b = bucket[static_cast<std::size_t>(i)];
     DH_CHECK(b.alive);
-    slices.push_back({b.first_entry, b.last_entry,
-                      /*singular=*/b.first_entry == b.last_entry});
+    out.push_back({b.first_entry, b.last_entry, IsSingular(slices, b)});
   }
-  DH_CHECK(slices.size() == static_cast<std::size_t>(buckets));
-  return internal::ModelFromSlices(entries, slices);
+  DH_CHECK(out.size() == static_cast<std::size_t>(buckets));
+  return internal::ModelFromPieceSlices(slices, out);
+}
+
+HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
+                         std::int64_t buckets, const SsbmOptions& options) {
+  std::vector<Slice> slices;
+  slices.reserve(entries.size());
+  for (const ValueFreq& e : entries) {
+    const double left = static_cast<double>(e.value);
+    slices.push_back({left, left + 1.0, e.freq});
+  }
+  return BuildSsbm(slices, buckets, options);
 }
 
 HistogramModel BuildSsbm(const FrequencyVector& data, std::int64_t buckets,

@@ -44,6 +44,20 @@ struct SsbmOptions {
 HistogramModel BuildSsbm(const std::vector<ValueFreq>& entries,
                          std::int64_t buckets, const SsbmOptions& options = {});
 
+/// Slice-input SSBM: partitions weighted piecewise-uniform slices instead
+/// of per-value frequencies. `slices` must be ascending, non-overlapping,
+/// each with positive width and non-negative count. A distinct integer
+/// value is exactly the width-1 slice [v, v+1), and on such input this
+/// overload reproduces the per-value overload bit for bit (the deviation of
+/// a bucket uses the integral of its squared density, which equals the sum
+/// of squared frequencies when every slice is one cell). Wider slices are
+/// treated as already-uniform runs — merges split only at slice borders —
+/// which is what lets the distributed/engine snapshot reduction feed a
+/// superimposed composite to SSBM without enumerating integer cells
+/// (O(pieces) instead of O(domain)).
+HistogramModel BuildSsbm(const std::vector<HistogramModel::Piece>& slices,
+                         std::int64_t buckets, const SsbmOptions& options = {});
+
 /// Convenience overload reading the current state of a FrequencyVector.
 HistogramModel BuildSsbm(const FrequencyVector& data, std::int64_t buckets,
                          const SsbmOptions& options = {});

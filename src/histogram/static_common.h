@@ -36,6 +36,18 @@ struct BucketSlice {
 HistogramModel ModelFromSlices(const std::vector<ValueFreq>& entries,
                                const std::vector<BucketSlice>& slices);
 
+/// Piecewise-uniform generalization of ModelFromSlices: `slices` are
+/// ascending, non-overlapping uniform-density intervals (a distinct integer
+/// value is the width-1 slice [v, v+1)), and each BucketSlice aggregates an
+/// inclusive run of them into one uniform bucket spanning
+/// [slices[first].left, slices[last].right). Gaps between slices inside a
+/// bucket count toward its width (continuous-value assumption); gaps
+/// between buckets carry zero density. This is the export path of the
+/// slice-input SSBM used by the domain-independent snapshot reduction.
+HistogramModel ModelFromPieceSlices(
+    const std::vector<HistogramModel::Piece>& slices,
+    const std::vector<BucketSlice>& ranges);
+
 /// The exact model used when the bucket budget covers every distinct value:
 /// one singleton bucket per entry (KS = 0 against the source distribution).
 HistogramModel ExactModel(const std::vector<ValueFreq>& entries);

@@ -42,6 +42,36 @@ HistogramModel ModelFromSlices(const std::vector<ValueFreq>& entries,
   return HistogramModel(std::move(pieces), std::move(buckets));
 }
 
+HistogramModel ModelFromPieceSlices(
+    const std::vector<HistogramModel::Piece>& slices,
+    const std::vector<BucketSlice>& ranges) {
+  if (slices.empty()) return HistogramModel();
+  DH_CHECK(!ranges.empty());
+  DH_CHECK(ranges.front().first == 0);
+  DH_CHECK(ranges.back().last == slices.size() - 1);
+
+  std::vector<HistogramModel::Piece> pieces;
+  std::vector<HistogramModel::BucketRef> buckets;
+  pieces.reserve(ranges.size());
+  buckets.reserve(ranges.size());
+  for (std::size_t s = 0; s < ranges.size(); ++s) {
+    const BucketSlice& range = ranges[s];
+    DH_CHECK(range.first <= range.last);
+    if (s > 0) DH_CHECK(range.first == ranges[s - 1].last + 1);
+    const double left = slices[range.first].left;
+    const double right = slices[range.last].right;
+    double count = 0.0;
+    for (std::size_t i = range.first; i <= range.last; ++i) {
+      count += slices[i].count;
+    }
+    DH_CHECK(right > left);
+    buckets.push_back(
+        {static_cast<std::uint32_t>(pieces.size()), 1, range.singular});
+    pieces.push_back({left, right, count});
+  }
+  return HistogramModel(std::move(pieces), std::move(buckets));
+}
+
 HistogramModel ExactModel(const std::vector<ValueFreq>& entries) {
   std::vector<BucketSlice> slices(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {

@@ -193,6 +193,75 @@ TEST(DynamicCompressedTest, MailOrderTraceSurvivesAllBudgets) {
   }
 }
 
+TEST(DynamicCompressedTest, WeightedInsertsMatchRepeatedInsertsInMass) {
+  Rng rng(31);
+  DynamicCompressedHistogram weighted(SmallConfig(16));
+  DynamicCompressedHistogram repeated(SmallConfig(16));
+  double total = 0.0;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::int64_t v = rng.UniformInt(0, 400);
+    const auto count = static_cast<std::int64_t>(1 + rng.UniformInt(8));
+    weighted.InsertN(v, count);
+    for (std::int64_t c = 0; c < count; ++c) repeated.Insert(v);
+    total += static_cast<double>(count);
+  }
+  EXPECT_DOUBLE_EQ(weighted.TotalCount(), total);
+  EXPECT_DOUBLE_EQ(repeated.TotalCount(), total);
+  EXPECT_TRUE(testing::ModelIsValid(weighted.Model()));
+}
+
+TEST(DynamicCompressedTest, WeightedDeletesConserveMassExactly) {
+  Rng rng(33);
+  DynamicCompressedHistogram h(SmallConfig(16));
+  std::vector<std::int64_t> live;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::int64_t v = rng.UniformInt(0, 300);
+    h.Insert(v);
+    live.push_back(v);
+  }
+  // Delete in weighted groups (mixing fast path and spill fallback).
+  double expect = 5'000.0;
+  while (live.size() > 500) {
+    const std::int64_t v = live.back();
+    std::int64_t count = 0;
+    while (!live.empty() && live.back() == v) {
+      live.pop_back();
+      ++count;
+    }
+    // Also group several distinct trailing values into one DeleteN each.
+    h.DeleteN(v, count);
+    expect -= static_cast<double>(count);
+    EXPECT_DOUBLE_EQ(h.TotalCount(), expect);
+  }
+  EXPECT_TRUE(testing::ModelIsValid(h.Model()));
+}
+
+TEST(DynamicCompressedTest, DeleteSpillsToNearestBucketWithMass) {
+  // Build a histogram whose middle region is drained below one point, then
+  // delete there: the outward search must take the point from the closest
+  // bucket that still holds a whole point, conserving total mass.
+  DynamicCompressedHistogram h(SmallConfig(8));
+  for (int v = 0; v < 8; ++v) h.Insert(v * 10);  // loading: borders at 10s
+  for (int i = 0; i < 100; ++i) h.Insert(5);
+  for (int i = 0; i < 100; ++i) h.Insert(75);
+  const double before = h.TotalCount();
+  // Value 40's bucket holds ~1 point; repeated deletes force spills.
+  for (int i = 0; i < 50; ++i) h.Delete(40, 1);
+  EXPECT_DOUBLE_EQ(h.TotalCount(), before - 50.0);
+  EXPECT_TRUE(testing::ModelIsValid(h.Model()));
+}
+
+TEST(DynamicCompressedTest, WeightedOpsDuringLoadingPhase) {
+  DynamicCompressedHistogram h(SmallConfig(8));
+  h.InsertN(100, 40);
+  EXPECT_TRUE(h.InLoadingPhase());
+  h.DeleteN(100, 15);
+  EXPECT_DOUBLE_EQ(h.TotalCount(), 25.0);
+  for (int v = 0; v < 8; ++v) h.InsertN(v, 3);
+  EXPECT_FALSE(h.InLoadingPhase());
+  EXPECT_DOUBLE_EQ(h.TotalCount(), 49.0);
+}
+
 TEST(DynamicCompressedTest, AlphaMinZeroFreezesBorders) {
   DynamicCompressedConfig config = SmallConfig(8);
   config.alpha_min = 0.0;  // §3: "setting alpha_min to 0 would freeze"

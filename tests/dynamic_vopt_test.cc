@@ -220,6 +220,52 @@ TEST(DynamicVOptTest, TracksEvolvingDistribution) {
   EXPECT_LT(KsStatistic(truth, h.Model()), 0.05);
 }
 
+TEST(DynamicVOptTest, WeightedInsertsConserveMassAndQuality) {
+  Rng rng(17);
+  DynamicVOptHistogram h(Dado(32));
+  FrequencyVector truth(501);
+  for (int i = 0; i < 3'000; ++i) {
+    const std::int64_t v = rng.UniformInt(0, 500);
+    const auto count = static_cast<std::int64_t>(1 + rng.UniformInt(6));
+    h.InsertN(v, count);
+    for (std::int64_t c = 0; c < count; ++c) truth.Insert(v);
+  }
+  EXPECT_DOUBLE_EQ(h.TotalCount(),
+                   static_cast<double>(truth.TotalCount()));
+  EXPECT_TRUE(testing::ModelIsValid(h.Model()));
+  EXPECT_LT(KsStatistic(truth, h.Model()), 0.1);
+}
+
+TEST(DynamicVOptTest, WeightedInsertOutOfRangeGrowsSupport) {
+  DynamicVOptHistogram h(Dado(8));
+  for (int v = 0; v < 8; ++v) h.Insert(v * 10);
+  h.InsertN(500, 25);  // far right of the current support
+  h.InsertN(-40, 10);  // far left
+  EXPECT_DOUBLE_EQ(h.TotalCount(), 8.0 + 25.0 + 10.0);
+  const HistogramModel model = h.Model();
+  EXPECT_LE(model.MinBorder(), -40.0);
+  EXPECT_GE(model.MaxBorder(), 501.0);
+  EXPECT_TRUE(testing::ModelIsValid(model));
+}
+
+TEST(DynamicVOptTest, WeightedDeletesFastPathAndSpill) {
+  DynamicVOptHistogram h(Dado(8));
+  for (int v = 0; v < 8; ++v) h.Insert(v * 10);
+  h.InsertN(35, 40);
+  // Fast path: the value's own counter holds the whole group.
+  h.DeleteN(35, 30);
+  EXPECT_DOUBLE_EQ(h.TotalCount(), 8.0 + 10.0);
+  // Spill: more deletes of 35 than its counter holds must drain neighbors
+  // point by point. Once every counter is below one point, each delete
+  // clamps to the largest fractional counter (pre-existing §7.3 semantics),
+  // so the final mass may exceed the exact 3.0 by those fractions but never
+  // undershoots it.
+  h.DeleteN(35, 15);
+  EXPECT_GE(h.TotalCount(), 3.0);
+  EXPECT_LE(h.TotalCount(), 5.0);
+  EXPECT_TRUE(testing::ModelIsValid(h.Model()));
+}
+
 TEST(DynamicVOptDeathTest, RejectsBadConfig) {
   DynamicVOptConfig config;
   config.buckets = 1;

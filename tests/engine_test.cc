@@ -118,9 +118,15 @@ TEST(HistogramEngineTest, AutoPublishFollowsSnapshotCadence) {
 }
 
 TEST(HistogramEngineTest, InsertBatchMatchesLoopInserts) {
+  // Coalescing groups a batch by value, so the two ingestion paths only
+  // stay operation-for-operation identical with it disabled (they drain
+  // batches of different sizes); this test pins the buffer plumbing, the
+  // next one covers coalescing itself.
+  EngineOptions options = TestOptions();
+  options.coalesce_batches = false;
   const auto values = ZipfValues(10'000, 6);
-  HistogramEngine loop_engine(TestOptions());
-  HistogramEngine batch_engine(TestOptions());
+  HistogramEngine loop_engine(options);
+  HistogramEngine batch_engine(options);
   for (const std::int64_t v : values) loop_engine.Insert(kKey, v);
   batch_engine.InsertBatch(kKey, values);
   EXPECT_DOUBLE_EQ(loop_engine.LiveTotalCount(kKey),
@@ -130,6 +136,53 @@ TEST(HistogramEngineTest, InsertBatchMatchesLoopInserts) {
   const double b =
       batch_engine.RefreshSnapshot(kKey).EstimateRange(0, kDomain / 2);
   EXPECT_NEAR(a, b, 1e-6);
+}
+
+TEST(HistogramEngineTest, CoalescedBatchesConserveMassAndQuality) {
+  // Coalescing changes the maintenance trajectory but must conserve mass
+  // exactly and stay in the same estimation-quality class.
+  const auto values = ZipfValues(20'000, 12);
+  EngineOptions coalesced = TestOptions();
+  coalesced.batch_size = 256;  // plenty of duplicates per batch at z=1
+  EngineOptions faithful = coalesced;
+  faithful.coalesce_batches = false;
+
+  FrequencyVector truth(kDomain);
+  for (const std::int64_t v : values) truth.Insert(v);
+
+  HistogramEngine a(coalesced);
+  HistogramEngine b(faithful);
+  a.InsertBatch(kKey, values);
+  b.InsertBatch(kKey, values);
+  EXPECT_DOUBLE_EQ(a.LiveTotalCount(kKey), 20'000.0);
+  EXPECT_DOUBLE_EQ(b.LiveTotalCount(kKey), 20'000.0);
+
+  const double ks_a = KsStatistic(truth, a.RefreshSnapshot(kKey).model());
+  const double ks_b = KsStatistic(truth, b.RefreshSnapshot(kKey).model());
+  EXPECT_LT(ks_a, 0.1);
+  EXPECT_LE(ks_a, ks_b + 0.05);
+}
+
+TEST(HistogramEngineTest, LegacyCellReduceMatchesPiecesReduce) {
+  // DC shard models have integer-aligned borders, where cell
+  // rasterization is exact and the two reduction flavors must coincide.
+  // (DVO/DADO sub-bucket fragments can have fractional borders the cell
+  // grid cannot represent; see merge_pipeline_test for that comparison.)
+  const auto values = ZipfValues(20'000, 13);
+  EngineOptions pieces = TestOptions();
+  pieces.kind = ShardHistogramKind::kDynamicCompressed;
+  EngineOptions cells = pieces;
+  cells.use_legacy_cell_reduce = true;
+  HistogramEngine a(pieces);
+  HistogramEngine b(cells);
+  a.InsertBatch(kKey, values);
+  b.InsertBatch(kKey, values);
+  const EngineSnapshot sa = a.RefreshSnapshot(kKey);
+  const EngineSnapshot sb = b.RefreshSnapshot(kKey);
+  EXPECT_NEAR(sa.TotalCount(), sb.TotalCount(), 1e-6);
+  // Same shard contents, so the two reduction flavors must land on models
+  // of (near) identical shape.
+  EXPECT_LT(KsBetweenModels(sa.model(), sb.model()), 1e-9);
 }
 
 TEST(HistogramEngineTest, DynamicCompressedKindWorks) {
