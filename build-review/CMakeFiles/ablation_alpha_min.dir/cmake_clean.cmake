@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_min.dir/bench/ablation_alpha_min.cc.o"
+  "CMakeFiles/ablation_alpha_min.dir/bench/ablation_alpha_min.cc.o.d"
+  "ablation_alpha_min"
+  "ablation_alpha_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

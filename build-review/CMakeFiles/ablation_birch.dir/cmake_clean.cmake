@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_birch.dir/bench/ablation_birch.cc.o"
+  "CMakeFiles/ablation_birch.dir/bench/ablation_birch.cc.o.d"
+  "ablation_birch"
+  "ablation_birch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_birch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_metric.dir/bench/ablation_error_metric.cc.o"
+  "CMakeFiles/ablation_error_metric.dir/bench/ablation_error_metric.cc.o.d"
+  "ablation_error_metric"
+  "ablation_error_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ssbm_key.dir/bench/ablation_ssbm_key.cc.o"
+  "CMakeFiles/ablation_ssbm_key.dir/bench/ablation_ssbm_key.cc.o.d"
+  "ablation_ssbm_key"
+  "ablation_ssbm_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ssbm_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subbuckets.dir/bench/ablation_subbuckets.cc.o"
+  "CMakeFiles/ablation_subbuckets.dir/bench/ablation_subbuckets.cc.o.d"
+  "ablation_subbuckets"
+  "ablation_subbuckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subbuckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_compressed_test.dir/tests/approximate_compressed_test.cc.o"
+  "CMakeFiles/approximate_compressed_test.dir/tests/approximate_compressed_test.cc.o.d"
+  "approximate_compressed_test"
+  "approximate_compressed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/birch_test.dir/tests/birch_test.cc.o"
+  "CMakeFiles/birch_test.dir/tests/birch_test.cc.o.d"
+  "birch_test"
+  "birch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/birch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_generator_test.dir/tests/cluster_generator_test.cc.o"
+  "CMakeFiles/cluster_generator_test.dir/tests/cluster_generator_test.cc.o.d"
+  "cluster_generator_test"
+  "cluster_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

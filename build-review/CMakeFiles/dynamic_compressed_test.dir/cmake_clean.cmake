@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_compressed_test.dir/tests/dynamic_compressed_test.cc.o"
+  "CMakeFiles/dynamic_compressed_test.dir/tests/dynamic_compressed_test.cc.o.d"
+  "dynamic_compressed_test"
+  "dynamic_compressed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

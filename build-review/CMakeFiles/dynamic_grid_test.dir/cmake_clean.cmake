@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_grid_test.dir/tests/dynamic_grid_test.cc.o"
+  "CMakeFiles/dynamic_grid_test.dir/tests/dynamic_grid_test.cc.o.d"
+  "dynamic_grid_test"
+  "dynamic_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

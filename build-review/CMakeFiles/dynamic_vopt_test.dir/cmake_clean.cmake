@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_vopt_test.dir/tests/dynamic_vopt_test.cc.o"
+  "CMakeFiles/dynamic_vopt_test.dir/tests/dynamic_vopt_test.cc.o.d"
+  "dynamic_vopt_test"
+  "dynamic_vopt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_vopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

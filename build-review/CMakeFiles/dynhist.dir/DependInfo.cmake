@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/birch1d.cc" "CMakeFiles/dynhist.dir/src/cluster/birch1d.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/cluster/birch1d.cc.o.d"
+  "/root/repo/src/common/math.cc" "CMakeFiles/dynhist.dir/src/common/math.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/common/math.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/dynhist.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "CMakeFiles/dynhist.dir/src/common/zipf.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/common/zipf.cc.o.d"
+  "/root/repo/src/data/cluster_generator.cc" "CMakeFiles/dynhist.dir/src/data/cluster_generator.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/data/cluster_generator.cc.o.d"
+  "/root/repo/src/data/frequency_vector.cc" "CMakeFiles/dynhist.dir/src/data/frequency_vector.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/data/frequency_vector.cc.o.d"
+  "/root/repo/src/data/mailorder_generator.cc" "CMakeFiles/dynhist.dir/src/data/mailorder_generator.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/data/mailorder_generator.cc.o.d"
+  "/root/repo/src/data/update_stream.cc" "CMakeFiles/dynhist.dir/src/data/update_stream.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/data/update_stream.cc.o.d"
+  "/root/repo/src/distributed/global_histogram.cc" "CMakeFiles/dynhist.dir/src/distributed/global_histogram.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/distributed/global_histogram.cc.o.d"
+  "/root/repo/src/distributed/site.cc" "CMakeFiles/dynhist.dir/src/distributed/site.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/distributed/site.cc.o.d"
+  "/root/repo/src/engine/histogram_engine.cc" "CMakeFiles/dynhist.dir/src/engine/histogram_engine.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/engine/histogram_engine.cc.o.d"
+  "/root/repo/src/engine/shard.cc" "CMakeFiles/dynhist.dir/src/engine/shard.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/engine/shard.cc.o.d"
+  "/root/repo/src/estimate/selectivity.cc" "CMakeFiles/dynhist.dir/src/estimate/selectivity.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/estimate/selectivity.cc.o.d"
+  "/root/repo/src/histogram/approximate_compressed.cc" "CMakeFiles/dynhist.dir/src/histogram/approximate_compressed.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/approximate_compressed.cc.o.d"
+  "/root/repo/src/histogram/budget.cc" "CMakeFiles/dynhist.dir/src/histogram/budget.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/budget.cc.o.d"
+  "/root/repo/src/histogram/driver.cc" "CMakeFiles/dynhist.dir/src/histogram/driver.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/driver.cc.o.d"
+  "/root/repo/src/histogram/dynamic_compressed.cc" "CMakeFiles/dynhist.dir/src/histogram/dynamic_compressed.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/dynamic_compressed.cc.o.d"
+  "/root/repo/src/histogram/dynamic_vopt.cc" "CMakeFiles/dynhist.dir/src/histogram/dynamic_vopt.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/dynamic_vopt.cc.o.d"
+  "/root/repo/src/histogram/model.cc" "CMakeFiles/dynhist.dir/src/histogram/model.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/model.cc.o.d"
+  "/root/repo/src/histogram/serialize.cc" "CMakeFiles/dynhist.dir/src/histogram/serialize.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/serialize.cc.o.d"
+  "/root/repo/src/histogram/ssbm.cc" "CMakeFiles/dynhist.dir/src/histogram/ssbm.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/ssbm.cc.o.d"
+  "/root/repo/src/histogram/static_compressed.cc" "CMakeFiles/dynhist.dir/src/histogram/static_compressed.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/static_compressed.cc.o.d"
+  "/root/repo/src/histogram/static_equi.cc" "CMakeFiles/dynhist.dir/src/histogram/static_equi.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/static_equi.cc.o.d"
+  "/root/repo/src/histogram/static_voptimal.cc" "CMakeFiles/dynhist.dir/src/histogram/static_voptimal.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram/static_voptimal.cc.o.d"
+  "/root/repo/src/histogram2d/dynamic_grid.cc" "CMakeFiles/dynhist.dir/src/histogram2d/dynamic_grid.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/histogram2d/dynamic_grid.cc.o.d"
+  "/root/repo/src/metrics/ks.cc" "CMakeFiles/dynhist.dir/src/metrics/ks.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/metrics/ks.cc.o.d"
+  "/root/repo/src/metrics/query_error.cc" "CMakeFiles/dynhist.dir/src/metrics/query_error.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/metrics/query_error.cc.o.d"
+  "/root/repo/src/sampling/reservoir.cc" "CMakeFiles/dynhist.dir/src/sampling/reservoir.cc.o" "gcc" "CMakeFiles/dynhist.dir/src/sampling/reservoir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

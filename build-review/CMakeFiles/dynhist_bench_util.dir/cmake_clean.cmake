@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynhist_bench_util.dir/bench/bench_util.cc.o"
+  "CMakeFiles/dynhist_bench_util.dir/bench/bench_util.cc.o.d"
+  "libdynhist_bench_util.a"
+  "libdynhist_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynhist_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

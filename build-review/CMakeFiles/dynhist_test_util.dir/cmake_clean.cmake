@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynhist_test_util.dir/tests/test_util.cc.o"
+  "CMakeFiles/dynhist_test_util.dir/tests/test_util.cc.o.d"
+  "libdynhist_test_util.a"
+  "libdynhist_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynhist_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

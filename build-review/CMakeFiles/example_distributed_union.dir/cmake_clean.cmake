@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_union.dir/examples/distributed_union.cpp.o"
+  "CMakeFiles/example_distributed_union.dir/examples/distributed_union.cpp.o.d"
+  "example_distributed_union"
+  "example_distributed_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

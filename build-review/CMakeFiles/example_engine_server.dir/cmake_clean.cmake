@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_engine_server.dir/examples/engine_server.cpp.o"
+  "CMakeFiles/example_engine_server.dir/examples/engine_server.cpp.o.d"
+  "example_engine_server"
+  "example_engine_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_engine_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_evolving_optimizer.dir/examples/evolving_optimizer.cpp.o"
+  "CMakeFiles/example_evolving_optimizer.dir/examples/evolving_optimizer.cpp.o.d"
+  "example_evolving_optimizer"
+  "example_evolving_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_evolving_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

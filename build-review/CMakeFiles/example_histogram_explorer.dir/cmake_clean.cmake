@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_histogram_explorer.dir/examples/histogram_explorer.cpp.o"
+  "CMakeFiles/example_histogram_explorer.dir/examples/histogram_explorer.cpp.o.d"
+  "example_histogram_explorer"
+  "example_histogram_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_histogram_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

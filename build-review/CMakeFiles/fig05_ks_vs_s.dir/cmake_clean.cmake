@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ks_vs_s.dir/bench/fig05_ks_vs_s.cc.o"
+  "CMakeFiles/fig05_ks_vs_s.dir/bench/fig05_ks_vs_s.cc.o.d"
+  "fig05_ks_vs_s"
+  "fig05_ks_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ks_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ks_vs_z.dir/bench/fig06_ks_vs_z.cc.o"
+  "CMakeFiles/fig06_ks_vs_z.dir/bench/fig06_ks_vs_z.cc.o.d"
+  "fig06_ks_vs_z"
+  "fig06_ks_vs_z.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ks_vs_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_ks_vs_sd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ks_vs_memory.dir/bench/fig08_ks_vs_memory.cc.o"
+  "CMakeFiles/fig08_ks_vs_memory.dir/bench/fig08_ks_vs_memory.cc.o.d"
+  "fig08_ks_vs_memory"
+  "fig08_ks_vs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ks_vs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

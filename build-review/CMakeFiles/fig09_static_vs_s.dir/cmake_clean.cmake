@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_static_vs_s.dir/bench/fig09_static_vs_s.cc.o"
+  "CMakeFiles/fig09_static_vs_s.dir/bench/fig09_static_vs_s.cc.o.d"
+  "fig09_static_vs_s"
+  "fig09_static_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_static_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

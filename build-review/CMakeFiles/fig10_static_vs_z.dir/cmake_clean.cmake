@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_static_vs_z.dir/bench/fig10_static_vs_z.cc.o"
+  "CMakeFiles/fig10_static_vs_z.dir/bench/fig10_static_vs_z.cc.o.d"
+  "fig10_static_vs_z"
+  "fig10_static_vs_z.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_static_vs_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_static_vs_sd.dir/bench/fig11_static_vs_sd.cc.o"
+  "CMakeFiles/fig11_static_vs_sd.dir/bench/fig11_static_vs_sd.cc.o.d"
+  "fig11_static_vs_sd"
+  "fig11_static_vs_sd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_static_vs_sd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ac_disk_space.dir/bench/fig14_ac_disk_space.cc.o"
+  "CMakeFiles/fig14_ac_disk_space.dir/bench/fig14_ac_disk_space.cc.o.d"
+  "fig14_ac_disk_space"
+  "fig14_ac_disk_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ac_disk_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_ac_disk_space.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sorted_inserts.dir/bench/fig15_sorted_inserts.cc.o"
+  "CMakeFiles/fig15_sorted_inserts.dir/bench/fig15_sorted_inserts.cc.o.d"
+  "fig15_sorted_inserts"
+  "fig15_sorted_inserts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sorted_inserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

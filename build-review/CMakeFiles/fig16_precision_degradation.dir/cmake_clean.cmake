@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_precision_degradation.dir/bench/fig16_precision_degradation.cc.o"
+  "CMakeFiles/fig16_precision_degradation.dir/bench/fig16_precision_degradation.cc.o.d"
+  "fig16_precision_degradation"
+  "fig16_precision_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_precision_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

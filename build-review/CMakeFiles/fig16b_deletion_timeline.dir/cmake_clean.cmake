@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_deletion_timeline.dir/bench/fig16b_deletion_timeline.cc.o"
+  "CMakeFiles/fig16b_deletion_timeline.dir/bench/fig16b_deletion_timeline.cc.o.d"
+  "fig16b_deletion_timeline"
+  "fig16b_deletion_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_deletion_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_random_deletes.dir/bench/fig17_random_deletes.cc.o"
+  "CMakeFiles/fig17_random_deletes.dir/bench/fig17_random_deletes.cc.o.d"
+  "fig17_random_deletes"
+  "fig17_random_deletes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_random_deletes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

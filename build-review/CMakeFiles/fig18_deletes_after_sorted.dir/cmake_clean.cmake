@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_deletes_after_sorted.dir/bench/fig18_deletes_after_sorted.cc.o"
+  "CMakeFiles/fig18_deletes_after_sorted.dir/bench/fig18_deletes_after_sorted.cc.o.d"
+  "fig18_deletes_after_sorted"
+  "fig18_deletes_after_sorted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_deletes_after_sorted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_mailorder.dir/bench/fig19_mailorder.cc.o"
+  "CMakeFiles/fig19_mailorder.dir/bench/fig19_mailorder.cc.o.d"
+  "fig19_mailorder"
+  "fig19_mailorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_mailorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

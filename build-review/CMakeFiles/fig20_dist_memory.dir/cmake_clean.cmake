@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_dist_memory.dir/bench/fig20_dist_memory.cc.o"
+  "CMakeFiles/fig20_dist_memory.dir/bench/fig20_dist_memory.cc.o.d"
+  "fig20_dist_memory"
+  "fig20_dist_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_dist_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_dist_zfreq.dir/bench/fig21_dist_zfreq.cc.o"
+  "CMakeFiles/fig21_dist_zfreq.dir/bench/fig21_dist_zfreq.cc.o.d"
+  "fig21_dist_zfreq"
+  "fig21_dist_zfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_dist_zfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

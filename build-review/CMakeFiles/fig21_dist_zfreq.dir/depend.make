@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_dist_zfreq.
+# This may be replaced when dependencies are built.

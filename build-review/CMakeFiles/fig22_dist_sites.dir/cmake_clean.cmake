@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_dist_sites.dir/bench/fig22_dist_sites.cc.o"
+  "CMakeFiles/fig22_dist_sites.dir/bench/fig22_dist_sites.cc.o.d"
+  "fig22_dist_sites"
+  "fig22_dist_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_dist_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_dist_zsite.dir/bench/fig23_dist_zsite.cc.o"
+  "CMakeFiles/fig23_dist_zsite.dir/bench/fig23_dist_zsite.cc.o.d"
+  "fig23_dist_zsite"
+  "fig23_dist_zsite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_dist_zsite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_vector_test.dir/tests/frequency_vector_test.cc.o"
+  "CMakeFiles/frequency_vector_test.dir/tests/frequency_vector_test.cc.o.d"
+  "frequency_vector_test"
+  "frequency_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_test.dir/tests/ks_test.cc.o"
+  "CMakeFiles/ks_test.dir/tests/ks_test.cc.o.d"
+  "ks_test"
+  "ks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

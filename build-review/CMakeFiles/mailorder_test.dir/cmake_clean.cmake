@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailorder_test.dir/tests/mailorder_test.cc.o"
+  "CMakeFiles/mailorder_test.dir/tests/mailorder_test.cc.o.d"
+  "mailorder_test"
+  "mailorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

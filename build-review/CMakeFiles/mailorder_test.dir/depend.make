@@ -1,0 +1,2 @@
+# Empty dependencies file for mailorder_test.
+# This may be replaced when dependencies are built.

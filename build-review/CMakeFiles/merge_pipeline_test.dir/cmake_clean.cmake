@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_pipeline_test.dir/tests/merge_pipeline_test.cc.o"
+  "CMakeFiles/merge_pipeline_test.dir/tests/merge_pipeline_test.cc.o.d"
+  "merge_pipeline_test"
+  "merge_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_engine_throughput.dir/bench/micro_engine_throughput.cc.o"
+  "CMakeFiles/micro_engine_throughput.dir/bench/micro_engine_throughput.cc.o.d"
+  "micro_engine_throughput"
+  "micro_engine_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_merge_pipeline.dir/bench/micro_merge_pipeline.cc.o"
+  "CMakeFiles/micro_merge_pipeline.dir/bench/micro_merge_pipeline.cc.o.d"
+  "micro_merge_pipeline"
+  "micro_merge_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_merge_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_update_cost.dir/bench/micro_update_cost.cc.o"
+  "CMakeFiles/micro_update_cost.dir/bench/micro_update_cost.cc.o.d"
+  "micro_update_cost"
+  "micro_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

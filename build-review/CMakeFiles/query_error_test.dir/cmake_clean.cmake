@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_error_test.dir/tests/query_error_test.cc.o"
+  "CMakeFiles/query_error_test.dir/tests/query_error_test.cc.o.d"
+  "query_error_test"
+  "query_error_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

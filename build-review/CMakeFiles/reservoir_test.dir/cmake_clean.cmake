@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_test.dir/tests/reservoir_test.cc.o"
+  "CMakeFiles/reservoir_test.dir/tests/reservoir_test.cc.o.d"
+  "reservoir_test"
+  "reservoir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

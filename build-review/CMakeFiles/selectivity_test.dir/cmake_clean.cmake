@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_test.dir/tests/selectivity_test.cc.o"
+  "CMakeFiles/selectivity_test.dir/tests/selectivity_test.cc.o.d"
+  "selectivity_test"
+  "selectivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

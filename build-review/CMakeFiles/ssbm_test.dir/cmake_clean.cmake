@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssbm_test.dir/tests/ssbm_test.cc.o"
+  "CMakeFiles/ssbm_test.dir/tests/ssbm_test.cc.o.d"
+  "ssbm_test"
+  "ssbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_compressed_test.dir/tests/static_compressed_test.cc.o"
+  "CMakeFiles/static_compressed_test.dir/tests/static_compressed_test.cc.o.d"
+  "static_compressed_test"
+  "static_compressed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_compressed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_equi_test.dir/tests/static_equi_test.cc.o"
+  "CMakeFiles/static_equi_test.dir/tests/static_equi_test.cc.o.d"
+  "static_equi_test"
+  "static_equi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_equi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_voptimal_test.dir/tests/static_voptimal_test.cc.o"
+  "CMakeFiles/static_voptimal_test.dir/tests/static_voptimal_test.cc.o.d"
+  "static_voptimal_test"
+  "static_voptimal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_voptimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

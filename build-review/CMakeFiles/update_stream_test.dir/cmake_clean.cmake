@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_stream_test.dir/tests/update_stream_test.cc.o"
+  "CMakeFiles/update_stream_test.dir/tests/update_stream_test.cc.o.d"
+  "update_stream_test"
+  "update_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
