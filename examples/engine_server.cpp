@@ -4,10 +4,14 @@
 // threads stream Zipfian inserts (with a 25% trailing delete mix, §7.3.1)
 // into a HistogramEngine while two reader threads continuously ask
 // selectivity questions against the published epoch snapshots — the
-// optimizer's view. A background merge thread republishes snapshots every
-// few milliseconds. At the end the final snapshot is scored (KS distance,
-// §6.2) against the exact FrequencyVector ground truth assembled from
-// everything the writers actually did.
+// optimizer's view. Publication runs through the async merge pipeline:
+// the writer that trips the snapshot cadence enqueues a publish request
+// and keeps ingesting; a merge worker drains the queue (coalescing
+// duplicate requests for the key) and swaps the snapshot. A second,
+// cold key shows per-key options: it publishes lazily on a much longer
+// cadence via SetKeyOptions. At the end the final snapshot is scored
+// (KS distance, §6.2) against the exact FrequencyVector ground truth
+// assembled from everything the writers actually did.
 
 #include <algorithm>
 #include <atomic>
@@ -31,10 +35,17 @@ int main() {
   EngineOptions options;
   options.shards = 8;
   options.batch_size = 64;
-  options.snapshot_every = 0;        // publication via background thread
-  options.background_interval_ms = 5;
+  options.snapshot_every = 8'192;    // cadence trips enqueue, workers merge
+  options.async_publish = true;
+  options.merge_workers = 1;
   options.kind = ShardHistogramKind::kDynamicAdo;
   HistogramEngine engine(options);
+
+  // Per-key overrides layered over the defaults: the cold key refreshes an
+  // order of magnitude less often and with a smaller published budget.
+  constexpr char kColdKey[] = "orders.priority";
+  engine.SetKeyOptions(kColdKey, {.snapshot_every = 100'000,
+                                  .merged_buckets = 16});
 
   // Each writer's operations, pre-generated so the exact ground truth can
   // be reassembled after the run.
@@ -59,9 +70,12 @@ int main() {
   for (const UpdateStream& script : scripts) {
     total_ops += static_cast<std::int64_t>(script.size());
     threads.emplace_back([&, &script = script] {
+      std::size_t i = 0;
       for (const UpdateOp& op : script) {
         if (op.kind == UpdateOp::Kind::kInsert) {
           engine.Insert(kKey, op.value);
+          // A trickle of traffic for the lazily-published cold key.
+          if (++i % 64 == 0) engine.Insert(kColdKey, op.value % 8);
         } else {
           engine.Delete(kKey, op.value);
         }
@@ -106,6 +120,7 @@ int main() {
     }
   }
 
+  engine.DrainPublishes();  // let the merge worker finish queued requests
   const EngineSnapshot final_snapshot = engine.RefreshSnapshot(kKey);
   const EngineStats stats = engine.Stats();
   std::printf("writers: %d threads, %lld ops in %.2fs  (%.0f updates/sec)\n",
@@ -119,6 +134,18 @@ int main() {
               static_cast<unsigned long long>(stats.publishes),
               engine.LiveTotalCount(kKey),
               static_cast<long long>(truth.TotalCount()));
+  std::printf("async pipeline: %llu queued, %llu coalesced, %llu merged "
+              "off-thread, mean merge %.0fus\n",
+              static_cast<unsigned long long>(stats.publish_queued),
+              static_cast<unsigned long long>(stats.publish_coalesced),
+              static_cast<unsigned long long>(stats.async_publishes),
+              stats.publishes == 0
+                  ? 0.0
+                  : static_cast<double>(stats.publish_nanos) / 1e3 /
+                        static_cast<double>(stats.publishes));
+  const EngineSnapshot cold = engine.RefreshSnapshot(kColdKey);
+  std::printf("cold key: %zu buckets (override 16), mass %.0f\n",
+              cold.model().NumBuckets(), cold.TotalCount());
   std::printf("KS(final snapshot, truth) = %.4f\n",
               KsStatistic(truth, final_snapshot.model()));
 

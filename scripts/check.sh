@@ -2,14 +2,15 @@
 # One-command regression check: configure, build, run the full test suite,
 # then smoke-run the merge-pipeline and concurrent-engine micro-benchmarks
 # in quick mode (micro_merge_pipeline exits nonzero if the publish-path
-# speedup or parity criteria regress).
+# speedup or parity criteria regress; micro_engine_throughput exits
+# nonzero if async publish stops cutting boundary-op p99 latency >= 5x).
 #
 # Usage: scripts/check.sh [--bench-json] [build_dir]
 #   (default build dir: build)
 #
 # --bench-json additionally captures the benches' machine-readable series
-# (one JSON object per line) into BENCH_PR2.json at the repo root, seeding
-# the perf-trajectory record future PRs append to.
+# (one JSON object per line) into BENCH_PR4.json at the repo root — the
+# perf-trajectory record (BENCH_PR2.json holds the PR-2 era series).
 #
 # This is the tier-1 sequence from ROADMAP.md plus the benches, so a single
 # run catches build breaks, unit/concurrency regressions, and gross
@@ -18,6 +19,17 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Refuse to run from a dirty in-source build: a stray top-level
+# CMakeCache.txt/CMakeFiles (from `cmake .`) poisons every later
+# out-of-source configure with cached settings, and in-source object files
+# are exactly the artifact mess .gitignore exists to keep out of the repo.
+if [[ -e CMakeCache.txt || -d CMakeFiles ]]; then
+  echo "check.sh: refusing to run: in-source build artifacts found at the" >&2
+  echo "repo root (CMakeCache.txt / CMakeFiles). Remove them and use an" >&2
+  echo "out-of-source build dir, e.g.: rm -rf CMakeCache.txt CMakeFiles" >&2
+  exit 2
+fi
 
 BENCH_JSON=0
 BUILD_DIR=build
@@ -28,6 +40,10 @@ for arg in "$@"; do
     *) BUILD_DIR="$arg" ;;
   esac
 done
+if [[ "$(realpath -m "$BUILD_DIR")" == "$(realpath .)" ]]; then
+  echo "check.sh: refusing an in-source build dir ('$BUILD_DIR')" >&2
+  exit 2
+fi
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 echo "== configure =="
@@ -41,16 +57,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 run_bench() {
   # Runs a bench, teeing its stdout; with --bench-json the JSON series
-  # lines (and only those) are appended to BENCH_PR2.json.
+  # lines (and only those) are appended to BENCH_PR4.json.
   if [[ "$BENCH_JSON" == 1 ]]; then
-    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR2.json
+    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR4.json
   else
     "$@"
   fi
 }
 
 if [[ "$BENCH_JSON" == 1 ]]; then
-  : > BENCH_PR2.json
+  : > BENCH_PR4.json
 fi
 
 echo "== merge-pipeline micro-bench (quick) =="
@@ -60,7 +76,7 @@ echo "== engine micro-bench (quick) =="
 run_bench "$BUILD_DIR/micro_engine_throughput" --quick
 
 if [[ "$BENCH_JSON" == 1 ]]; then
-  echo "== bench series written to BENCH_PR2.json =="
+  echo "== bench series written to BENCH_PR4.json =="
 fi
 
 echo "== check.sh: all green =="

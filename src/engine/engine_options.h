@@ -12,6 +12,7 @@
 #define DYNHIST_ENGINE_ENGINE_OPTIONS_H_
 
 #include <cstdint>
+#include <optional>
 
 namespace dynhist::engine {
 
@@ -82,6 +83,48 @@ struct EngineOptions {
   /// thread; publication is then driven by `snapshot_every` and
   /// RefreshSnapshot() alone.
   int background_interval_ms = 0;
+
+  /// Publish off the writer thread: when a key's `snapshot_every` cadence
+  /// fires, the writer enqueues a publish request onto a bounded queue and
+  /// returns immediately; merge workers drain the queue, coalescing
+  /// duplicate requests for one key (only the newest state matters). False
+  /// (the default) keeps today's synchronous publish-on-writer-thread
+  /// behavior bit for bit. RefreshSnapshot()/RefreshAll() always publish
+  /// inline regardless of this flag.
+  bool async_publish = false;
+
+  /// Merge workers draining the publish queue. Spawned lazily on the first
+  /// enqueue, so purely synchronous engines never start a thread. 0 is
+  /// manual-pump mode: nothing drains the queue until PumpPublishes() /
+  /// DrainPublishes() — the deterministic executor the test harness steps.
+  int merge_workers = 1;
+
+  /// Bound of the publish-request queue. Coalescing keeps at most one
+  /// entry per key, so this caps the number of keys with an outstanding
+  /// publish; a full queue rejects the request (counted in EngineStats)
+  /// and the key retries at its next cadence trip.
+  int publish_queue_capacity = 1024;
+};
+
+/// Per-key overrides layered over the engine-wide EngineOptions by
+/// HistogramEngine::SetKeyOptions(). Absent fields keep the global value.
+/// Only publish-side knobs are per-key: they take effect immediately, on
+/// existing keys, without touching shard state. (Shard-layout knobs —
+/// shards, batch_size, kind, shard_buckets — are fixed at key creation
+/// from the global options.)
+struct KeyOptionOverrides {
+  /// Per-key publication cadence (0 disables auto-publish for the key).
+  std::optional<std::int64_t> snapshot_every{};
+
+  /// Per-key bucket budget of the published snapshot.
+  std::optional<std::int64_t> merged_buckets{};
+
+  /// Per-key reduction flavor (see EngineOptions::use_legacy_cell_reduce).
+  std::optional<bool> use_legacy_cell_reduce{};
+
+  /// Per-key async publish: hot keys can publish eagerly off-thread while
+  /// cold keys stay on the cheap synchronous path, or vice versa.
+  std::optional<bool> async_publish{};
 };
 
 }  // namespace dynhist::engine

@@ -1,5 +1,6 @@
 #include "src/engine/histogram_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -21,7 +22,11 @@ std::uint64_t MixValue(std::int64_t value) {
 
 }  // namespace
 
-HistogramEngine::KeyState::KeyState(const EngineOptions& options) {
+HistogramEngine::KeyState::KeyState(const EngineOptions& options)
+    : snapshot_every(options.snapshot_every),
+      merged_buckets(options.merged_buckets),
+      legacy_reduce(options.use_legacy_cell_reduce),
+      async_publish(options.async_publish) {
   shards.reserve(static_cast<std::size_t>(options.shards));
   for (int i = 0; i < options.shards; ++i) {
     shards.push_back(std::make_unique<EngineShard>(options));
@@ -34,6 +39,8 @@ HistogramEngine::HistogramEngine(const EngineOptions& options)
   DH_CHECK(options_.batch_size >= 1);
   DH_CHECK(options_.snapshot_every >= 0);
   DH_CHECK(options_.merged_buckets >= 0);
+  DH_CHECK(options_.merge_workers >= 0);
+  DH_CHECK(options_.publish_queue_capacity >= 0);
   if (options_.background_interval_ms > 0) {
     background_ = std::thread([this] { BackgroundLoop(); });
   }
@@ -48,6 +55,10 @@ HistogramEngine::~HistogramEngine() {
     background_cv_.notify_all();
     background_.join();
   }
+  // Queued publish requests are commitments: drain them (via the workers'
+  // stop-after-drain protocol, or inline in manual-pump mode) before the
+  // registry they point into is destroyed.
+  StopPublishWorkers();
 }
 
 HistogramEngine::KeyState* HistogramEngine::FindKey(
@@ -86,13 +97,16 @@ void HistogramEngine::Update(std::string_view key, const UpdateOp& op) {
 }
 
 void HistogramEngine::Insert(std::string_view key, std::int64_t value) {
-  inserts_.fetch_add(1, std::memory_order_relaxed);
+  // Counter increments follow the counted work (here and below): the
+  // release store must carry the operation's writes for the EngineStats
+  // acquire-read contract to hold.
   Update(key, UpdateOp::Insert(value));
+  inserts_.fetch_add(1, std::memory_order_release);
 }
 
 void HistogramEngine::Delete(std::string_view key, std::int64_t value) {
-  deletes_.fetch_add(1, std::memory_order_relaxed);
   Update(key, UpdateOp::Delete(value));
+  deletes_.fetch_add(1, std::memory_order_release);
 }
 
 void HistogramEngine::InsertBatch(std::string_view key,
@@ -107,7 +121,7 @@ void HistogramEngine::InsertBatch(std::string_view key,
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     state->shards[s]->PushMany(per_shard[s]);
   }
-  inserts_.fetch_add(values.size(), std::memory_order_relaxed);
+  inserts_.fetch_add(values.size(), std::memory_order_release);
   state->update_count.fetch_add(values.size(), std::memory_order_relaxed);
   MaybeAutoPublish(*state);
 }
@@ -126,8 +140,8 @@ void HistogramEngine::FlushAll() {
 }
 
 EngineSnapshot HistogramEngine::Snapshot(std::string_view key) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
   const KeyState* state = FindKey(key);
+  queries_.fetch_add(1, std::memory_order_release);
   if (state == nullptr) return EngineSnapshot();
   std::shared_ptr<const VersionedModel> published =
       state->published.load(std::memory_order_acquire);
@@ -178,21 +192,47 @@ EngineStats HistogramEngine::Stats() const {
     std::shared_lock<std::shared_mutex> lock(registry_mu_);
     stats.keys = registry_.size();
   }
-  stats.inserts = inserts_.load(std::memory_order_relaxed);
-  stats.deletes = deletes_.load(std::memory_order_relaxed);
-  stats.queries = queries_.load(std::memory_order_relaxed);
-  stats.publishes = publishes_.load(std::memory_order_relaxed);
+  // Acquire loads pair with the release increments (see the EngineStats
+  // contract): observing a count implies observing the work it counts.
+  stats.inserts = inserts_.load(std::memory_order_acquire);
+  stats.deletes = deletes_.load(std::memory_order_acquire);
+  stats.queries = queries_.load(std::memory_order_acquire);
+  stats.publishes = publishes_.load(std::memory_order_acquire);
+  stats.async_publishes = async_publishes_.load(std::memory_order_acquire);
+  stats.publish_queued = publish_queued_.load(std::memory_order_acquire);
+  stats.publish_coalesced =
+      publish_coalesced_.load(std::memory_order_acquire);
+  stats.publish_rejected =
+      publish_rejected_.load(std::memory_order_acquire);
+  stats.publish_skipped =
+      publish_skipped_.load(std::memory_order_acquire);
+  stats.publish_nanos = publish_nanos_.load(std::memory_order_acquire);
+  stats.max_publish_nanos =
+      max_publish_nanos_.load(std::memory_order_acquire);
   return stats;
 }
 
 void HistogramEngine::MaybeAutoPublish(KeyState& state) {
-  if (options_.snapshot_every <= 0) return;
+  const std::int64_t every =
+      state.snapshot_every.load(std::memory_order_relaxed);
+  if (every <= 0) return;
   const std::uint64_t count =
       state.update_count.load(std::memory_order_relaxed);
+  if (state.async_publish.load(std::memory_order_relaxed) &&
+      !workers_stopped_.load(std::memory_order_acquire)) {
+    // Async cadence measures from the newer of "last published" and "last
+    // requested": a queued request already covers everything up to
+    // requested_at, so only genuinely new updates re-trip.
+    const std::uint64_t baseline =
+        std::max(state.published_at.load(std::memory_order_relaxed),
+                 state.requested_at.load(std::memory_order_relaxed));
+    if (count - baseline < static_cast<std::uint64_t>(every)) return;
+    RequestAsyncPublish(state, count);
+    return;
+  }
   const std::uint64_t published_at =
       state.published_at.load(std::memory_order_relaxed);
-  if (count - published_at <
-      static_cast<std::uint64_t>(options_.snapshot_every)) {
+  if (count - published_at < static_cast<std::uint64_t>(every)) {
     return;
   }
   // try_lock: if another thread is already merging, this update's epoch
@@ -201,10 +241,183 @@ void HistogramEngine::MaybeAutoPublish(KeyState& state) {
   if (!lock.owns_lock()) return;
   if (state.update_count.load(std::memory_order_relaxed) -
           state.published_at.load(std::memory_order_relaxed) <
-      static_cast<std::uint64_t>(options_.snapshot_every)) {
+      static_cast<std::uint64_t>(every)) {
     return;  // lost the race to a concurrent publisher
   }
   Publish(state, std::move(lock));
+}
+
+void HistogramEngine::RequestAsyncPublish(KeyState& state,
+                                          std::uint64_t count) {
+  state.requested_at.store(count, std::memory_order_relaxed);
+  if (state.publish_pending.exchange(true, std::memory_order_acq_rel)) {
+    // A request for this key is already queued; the worker will publish
+    // the key's newest state, so this trip rides along for free.
+    publish_coalesced_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!queue_stopping_ &&
+        publish_queue_.size() <
+            static_cast<std::size_t>(options_.publish_queue_capacity)) {
+      publish_queue_.push_back(&state);
+      EnsureWorkersLocked();
+    } else {
+      // Queue full (or engine stopping): drop the request and clear the
+      // pending flag so the key's next cadence trip retries. Staleness
+      // stays bounded by one extra snapshot_every of updates.
+      state.publish_pending.store(false, std::memory_order_release);
+      publish_rejected_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+  }
+  publish_queued_.fetch_add(1, std::memory_order_release);
+  queue_cv_.notify_one();
+}
+
+void HistogramEngine::EnsureWorkersLocked() {
+  if (workers_spawned_ || options_.merge_workers <= 0) return;
+  workers_spawned_ = true;
+  workers_.reserve(static_cast<std::size_t>(options_.merge_workers));
+  for (int i = 0; i < options_.merge_workers; ++i) {
+    workers_.emplace_back([this] { MergeWorkerLoop(); });
+  }
+}
+
+bool HistogramEngine::RunOneQueuedPublish() {
+  KeyState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (publish_queue_.empty()) return false;
+    state = publish_queue_.front();
+    publish_queue_.pop_front();
+    ++publishes_in_flight_;
+  }
+  // Clear pending *before* merging: a cadence trip from here on enqueues a
+  // fresh request rather than coalescing into this one, so no trip is ever
+  // absorbed by a merge that has already read its watermark. The clear is
+  // an acq_rel exchange, not a plain store: it reads the last coalescer's
+  // exchange(true) and thereby acquires that trip's earlier requested_at
+  // store, so the skip check below can never act on a stale requested_at
+  // and elide a merge a coalesced trip still needs.
+  state->publish_pending.exchange(false, std::memory_order_acq_rel);
+  if (state->published_at.load(std::memory_order_relaxed) >=
+      state->requested_at.load(std::memory_order_relaxed)) {
+    // An inline RefreshSnapshot()/RefreshAll() (or a merge absorbing a
+    // coalesced trip) already published past every update this request
+    // asked for — the merge would republish identical state; elide it.
+    publish_skipped_.fetch_add(1, std::memory_order_release);
+  } else {
+    Publish(*state);
+    async_publishes_.fetch_add(1, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --publishes_in_flight_;
+    if (publish_queue_.empty() && publishes_in_flight_ == 0) {
+      drain_cv_.notify_all();
+    }
+  }
+  return true;
+}
+
+void HistogramEngine::MergeWorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return queue_stopping_ || !publish_queue_.empty();
+      });
+      // Stop only once the queue is drained: requests accepted before the
+      // stop are commitments (stop-while-queued drain semantics).
+      if (queue_stopping_ && publish_queue_.empty()) return;
+    }
+    RunOneQueuedPublish();
+  }
+}
+
+std::size_t HistogramEngine::PumpPublishes(std::size_t max_requests) {
+  std::size_t ran = 0;
+  while (ran < max_requests && RunOneQueuedPublish()) ++ran;
+  return ran;
+}
+
+void HistogramEngine::DrainPublishes() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (workers_spawned_) {
+      drain_cv_.wait(lock, [this] {
+        return publish_queue_.empty() && publishes_in_flight_ == 0;
+      });
+      return;
+    }
+  }
+  PumpPublishes();  // manual-pump mode: drain inline
+}
+
+void HistogramEngine::StopPublishWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  workers_stopped_.store(true, std::memory_order_release);
+  // Manual-pump mode, or stragglers that slipped in while the workers were
+  // exiting: finish them inline so nothing queued is ever lost.
+  PumpPublishes();
+}
+
+std::size_t HistogramEngine::PublishQueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return publish_queue_.size();
+}
+
+std::size_t HistogramEngine::BufferedOps(std::string_view key) const {
+  const KeyState* state = FindKey(key);
+  if (state == nullptr) return 0;
+  std::size_t buffered = 0;
+  for (const auto& shard : state->shards) buffered += shard->BufferedOps();
+  return buffered;
+}
+
+void HistogramEngine::SetKeyOptions(std::string_view key,
+                                    const KeyOptionOverrides& o) {
+  KeyState* state = FindOrCreateKey(key);
+  if (o.snapshot_every) {
+    DH_CHECK(*o.snapshot_every >= 0);
+    state->snapshot_every.store(*o.snapshot_every,
+                                std::memory_order_relaxed);
+  }
+  if (o.merged_buckets) {
+    DH_CHECK(*o.merged_buckets >= 0);
+    state->merged_buckets.store(*o.merged_buckets,
+                                std::memory_order_relaxed);
+  }
+  if (o.use_legacy_cell_reduce) {
+    state->legacy_reduce.store(*o.use_legacy_cell_reduce,
+                               std::memory_order_relaxed);
+  }
+  if (o.async_publish) {
+    state->async_publish.store(*o.async_publish, std::memory_order_relaxed);
+  }
+}
+
+EngineOptions HistogramEngine::EffectiveOptions(std::string_view key) const {
+  EngineOptions effective = options_;
+  const KeyState* state = FindKey(key);
+  if (state == nullptr) return effective;
+  effective.snapshot_every =
+      state->snapshot_every.load(std::memory_order_relaxed);
+  effective.merged_buckets =
+      state->merged_buckets.load(std::memory_order_relaxed);
+  effective.use_legacy_cell_reduce =
+      state->legacy_reduce.load(std::memory_order_relaxed);
+  effective.async_publish =
+      state->async_publish.load(std::memory_order_relaxed);
+  return effective;
 }
 
 EngineSnapshot HistogramEngine::Publish(KeyState& state) {
@@ -215,6 +428,7 @@ EngineSnapshot HistogramEngine::Publish(KeyState& state) {
 EngineSnapshot HistogramEngine::Publish(
     KeyState& state, std::unique_lock<std::mutex> publish_lock) {
   DH_CHECK(publish_lock.owns_lock());
+  const auto publish_start = std::chrono::steady_clock::now();
   // Conservative watermark: updates pushed after this load simply count
   // toward the next publication even if this merge happens to absorb them.
   const std::uint64_t watermark =
@@ -228,17 +442,31 @@ EngineSnapshot HistogramEngine::Publish(
   }
 
   HistogramModel merged = state.merger.MergeAndReduce(
-      models, options_.merged_buckets,
-      options_.use_legacy_cell_reduce ? distributed::ReduceMode::kCells
-                                      : distributed::ReduceMode::kPieces);
+      models, state.merged_buckets.load(std::memory_order_relaxed),
+      state.legacy_reduce.load(std::memory_order_relaxed)
+          ? distributed::ReduceMode::kCells
+          : distributed::ReduceMode::kPieces);
 
   const std::uint64_t epoch =
       state.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   auto versioned = std::make_shared<const VersionedModel>(
-      VersionedModel{std::move(merged), epoch});
+      VersionedModel{std::move(merged), epoch, watermark});
   state.published.store(versioned, std::memory_order_release);
   state.published_at.store(watermark, std::memory_order_relaxed);
-  publishes_.fetch_add(1, std::memory_order_relaxed);
+  publishes_.fetch_add(1, std::memory_order_release);
+
+  const auto nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - publish_start)
+          .count());
+  publish_nanos_.fetch_add(nanos, std::memory_order_release);
+  std::uint64_t prev_max =
+      max_publish_nanos_.load(std::memory_order_relaxed);
+  while (prev_max < nanos &&
+         !max_publish_nanos_.compare_exchange_weak(
+             prev_max, nanos, std::memory_order_release,
+             std::memory_order_relaxed)) {
+  }
   return EngineSnapshot(std::move(versioned));
 }
 

@@ -22,6 +22,19 @@
 // lossless superposition adds their masses, and SSBM re-partitioning
 // brings the composite back to the configured bucket budget.
 //
+// Publication runs in one of two modes. Synchronous (the default): the
+// writer that trips a key's snapshot_every cadence performs the merge
+// inline — simple, but that writer's latency spikes by the full merge
+// cost each epoch. Asynchronous (EngineOptions::async_publish, or per key
+// via SetKeyOptions): the tripping writer enqueues a publish request on a
+// bounded queue and returns immediately; lazily-spawned merge workers
+// drain the queue, coalescing duplicate requests for one key (a request
+// is "publish the key's newest state", so N trips while one is queued
+// still cost one merge), and publish under the same per-key publish_mu
+// the sync path uses. merge_workers == 0 is manual-pump mode: the queue
+// drains only through PumpPublishes()/DrainPublishes(), which is what the
+// deterministic engine tests step.
+//
 // Consistency model: a snapshot merges every shard, but shards are
 // flushed and exported one after another while writers keep pushing, so
 // there is no cross-shard atomicity — a publication concurrent with a
@@ -40,6 +53,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -56,14 +71,35 @@
 
 namespace dynhist::engine {
 
-/// Monotone counters describing engine activity (relaxed reads; the
-/// numbers are mutually consistent only in quiescence).
+/// Monotone counters describing engine activity.
+///
+/// Memory-ordering contract: every counter is incremented with release
+/// ordering and read by Stats() with acquire ordering, so a counter value
+/// carries the writes that produced it (a reader that sees publishes == N
+/// also sees the Nth published snapshot). Counters are individually
+/// monotone, but mutually consistent only after a synchronization point —
+/// quiescence, DrainPublishes(), or StopPublishWorkers() — because they
+/// are not incremented under one lock.
 struct EngineStats {
   std::uint64_t keys = 0;        ///< registered histogram keys
   std::uint64_t inserts = 0;     ///< Insert() calls accepted
   std::uint64_t deletes = 0;     ///< Delete() calls accepted
   std::uint64_t queries = 0;     ///< estimate / snapshot reads served
   std::uint64_t publishes = 0;   ///< snapshot publications across all keys
+
+  // Async publish pipeline (zero in purely synchronous engines).
+  std::uint64_t async_publishes = 0;    ///< publishes run off the queue
+  std::uint64_t publish_queued = 0;     ///< requests accepted onto the queue
+  std::uint64_t publish_coalesced = 0;  ///< cadence trips absorbed by an
+                                        ///< already-pending request
+  std::uint64_t publish_rejected = 0;   ///< requests dropped, queue full
+  std::uint64_t publish_skipped = 0;    ///< drained requests whose updates
+                                        ///< an inline refresh had already
+                                        ///< published (merge elided)
+
+  // Publish-latency accounting (merge + swap, excluding queue wait).
+  std::uint64_t publish_nanos = 0;      ///< total nanoseconds in Publish
+  std::uint64_t max_publish_nanos = 0;  ///< slowest single Publish
 };
 
 /// Thread-safe registry of sharded dynamic histograms.
@@ -105,6 +141,44 @@ class HistogramEngine {
   /// Publishes fresh snapshots for every key with unpublished updates.
   void RefreshAll();
 
+  /// Layers per-key overrides over the global EngineOptions for `key`
+  /// (creating the key if needed). Present fields take effect immediately
+  /// — including on the async/sync publish routing of in-flight writers;
+  /// absent fields keep their current per-key value. Thread-safe.
+  void SetKeyOptions(std::string_view key, const KeyOptionOverrides& o);
+
+  /// The effective (global ⊕ per-key) options for `key`. Unknown keys
+  /// report the global options. Thread-safe.
+  EngineOptions EffectiveOptions(std::string_view key) const;
+
+  /// Runs up to `max_requests` queued publish requests on the calling
+  /// thread, returning how many it ran. With merge_workers == 0 this is
+  /// the only thing that drains the queue — the deterministic manual-pump
+  /// executor the engine test harness steps; it is also safe to call
+  /// alongside live workers (both sides pop under the queue lock).
+  std::size_t PumpPublishes(
+      std::size_t max_requests = std::numeric_limits<std::size_t>::max());
+
+  /// Returns once the publish queue is empty and no worker is mid-merge.
+  /// With merge_workers == 0 it pumps the queue inline instead of
+  /// waiting. Publications requested before the call are all visible
+  /// through Snapshot() when it returns.
+  void DrainPublishes();
+
+  /// Stops the merge workers after they drain everything already queued
+  /// (no request accepted before the call is lost), then joins them; any
+  /// stragglers enqueued during the stop are pumped inline. Afterwards
+  /// async-configured keys fall back to synchronous publication. Called
+  /// by the destructor; safe to call repeatedly.
+  void StopPublishWorkers();
+
+  /// Requests queued right now (diagnostic; racy by nature).
+  std::size_t PublishQueueDepth() const;
+
+  /// Operations sitting in `key`'s shard buffers, not yet applied to the
+  /// shard histograms (diagnostic; takes the buffer locks).
+  std::size_t BufferedOps(std::string_view key) const;
+
   /// Estimated tuples under `key` with lo <= A <= hi / with A = v, read
   /// from the last published snapshot.
   double EstimateRange(std::string_view key, std::int64_t lo,
@@ -128,6 +202,24 @@ class HistogramEngine {
     // last publication — their difference drives auto-publication.
     std::atomic<std::uint64_t> update_count{0};
     std::atomic<std::uint64_t> published_at{0};
+
+    // Effective per-key options (global defaults, then SetKeyOptions
+    // overrides). Atomics: writers consult them on every update while
+    // SetKeyOptions stores concurrently.
+    std::atomic<std::int64_t> snapshot_every;
+    std::atomic<std::int64_t> merged_buckets;
+    std::atomic<bool> legacy_reduce;
+    std::atomic<bool> async_publish;
+
+    // Async publish state: `publish_pending` is true while a request for
+    // this key sits in the queue — further cadence trips coalesce into it
+    // instead of enqueueing again (the worker publishes the key's newest
+    // state, so only the newest trip matters). `requested_at` is the
+    // update count at the last trip; the async cadence measures from
+    // max(published_at, requested_at) so a pending request suppresses
+    // re-trips until new updates accumulate past it.
+    std::atomic<bool> publish_pending{false};
+    std::atomic<std::uint64_t> requested_at{0};
 
     std::mutex publish_mu;  // serializes merges of this key
     std::atomic<std::uint64_t> epoch{0};
@@ -154,8 +246,21 @@ class HistogramEngine {
 
   void Update(std::string_view key, const UpdateOp& op);
 
-  // After accepting new updates: publish if the cadence says so.
+  // After accepting new updates: publish (sync) or enqueue a publish
+  // request (async) if the key's cadence says so.
   void MaybeAutoPublish(KeyState& state);
+
+  // Async path of MaybeAutoPublish: coalesce into a pending request or
+  // enqueue a new one (spawning the worker pool on first use).
+  void RequestAsyncPublish(KeyState& state, std::uint64_t count);
+
+  // Pops one request and publishes it on the calling thread. Returns
+  // false when the queue is empty. Shared by workers and PumpPublishes.
+  bool RunOneQueuedPublish();
+
+  // Spawns the merge workers if configured and not yet running. Called
+  // under queue_mu_.
+  void EnsureWorkersLocked();
 
   // Flush + superimpose + reduce + atomic publish. Returns the snapshot.
   // The second overload runs under an already-held publish lock.
@@ -164,6 +269,7 @@ class HistogramEngine {
                          std::unique_lock<std::mutex> publish_lock);
 
   void BackgroundLoop();
+  void MergeWorkerLoop();
 
   const EngineOptions options_;
 
@@ -174,6 +280,28 @@ class HistogramEngine {
   mutable std::atomic<std::uint64_t> deletes_{0};
   mutable std::atomic<std::uint64_t> queries_{0};
   mutable std::atomic<std::uint64_t> publishes_{0};
+  mutable std::atomic<std::uint64_t> async_publishes_{0};
+  mutable std::atomic<std::uint64_t> publish_queued_{0};
+  mutable std::atomic<std::uint64_t> publish_coalesced_{0};
+  mutable std::atomic<std::uint64_t> publish_rejected_{0};
+  mutable std::atomic<std::uint64_t> publish_skipped_{0};
+  mutable std::atomic<std::uint64_t> publish_nanos_{0};
+  mutable std::atomic<std::uint64_t> max_publish_nanos_{0};
+
+  // Publish queue (all guarded by queue_mu_ unless noted). Holds raw
+  // KeyState pointers: the registry never erases keys, and the destructor
+  // stops the workers before the registry is torn down.
+  mutable std::mutex queue_mu_;
+  std::deque<KeyState*> publish_queue_;
+  std::condition_variable queue_cv_;  // workers: work available / stopping
+  std::condition_variable drain_cv_;  // DrainPublishes: empty and idle
+  int publishes_in_flight_ = 0;
+  bool queue_stopping_ = false;
+  bool workers_spawned_ = false;
+  std::vector<std::thread> workers_;
+  // Set (after the join) by StopPublishWorkers: async keys fall back to
+  // synchronous publication. Read outside queue_mu_ on the writer path.
+  std::atomic<bool> workers_stopped_{false};
 
   std::mutex background_mu_;
   std::condition_variable background_cv_;

@@ -88,6 +88,11 @@ double EngineShard::TotalCount() {
   return histogram_->TotalCount();
 }
 
+std::size_t EngineShard::BufferedOps() const {
+  std::lock_guard<std::mutex> buffer_lock(buffer_mu_);
+  return buffer_.size();
+}
+
 void EngineShard::ApplyLocked(const std::vector<UpdateOp>& batch) {
   if (coalesce_ && batch.size() > 1) {
     // Coalesce in batch_size_-bounded chunks: Push-path batches are one

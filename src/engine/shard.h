@@ -58,6 +58,10 @@ class EngineShard {
   /// Flushes, then reports the histogram's live mass. Thread-safe.
   double TotalCount();
 
+  /// Operations sitting in the front buffer, not yet applied to the
+  /// histogram. Thread-safe (takes the buffer lock); diagnostic.
+  std::size_t BufferedOps() const;
+
   /// Operations applied to the histogram so far (excludes still-buffered
   /// ones). Monotone; approximate ordering only.
   std::uint64_t applied_ops() const {
@@ -82,7 +86,7 @@ class EngineShard {
   const int batch_size_;
   const bool coalesce_;
 
-  std::mutex buffer_mu_;
+  mutable std::mutex buffer_mu_;
   std::vector<UpdateOp> buffer_;  // guarded by buffer_mu_
 
   std::mutex hist_mu_;

@@ -24,6 +24,13 @@ namespace dynhist::engine {
 struct VersionedModel {
   HistogramModel model;
   std::uint64_t epoch = 0;
+
+  /// Updates (per the key's accepted-update counter) this publication
+  /// covers: the counter value the publisher observed before merging.
+  /// Lets readers — and the async-publish tests — tell which ingest
+  /// prefix a snapshot reflects; coalesced publish requests all land in
+  /// one publication whose watermark is the newest of them.
+  std::uint64_t watermark = 0;
 };
 
 /// Shared, immutable view of one key's histogram at a publication epoch.
@@ -38,6 +45,9 @@ class EngineSnapshot {
 
   /// Publication epoch; increments by 1 per publication of the key.
   std::uint64_t epoch() const { return state_->epoch; }
+
+  /// Accepted-update count this snapshot covers (see VersionedModel).
+  std::uint64_t watermark() const { return state_->watermark; }
 
   /// The underlying immutable model.
   const HistogramModel& model() const { return state_->model; }

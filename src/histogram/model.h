@@ -46,6 +46,8 @@ class HistogramModel {
     std::uint32_t first_piece = 0;
     std::uint32_t num_pieces = 0;
     bool singular = false;
+
+    friend bool operator==(const BucketRef&, const BucketRef&) = default;
   };
 
   /// An empty model (zero mass everywhere).

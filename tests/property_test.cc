@@ -169,5 +169,89 @@ TEST_P(HistogramPropertyTest, EstimatesNeverNegative) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Engine sync-vs-async oracle: the async publish pipeline must be invisible
+// in the data. One seeded mixed insert/delete/refresh workload is run
+// through a synchronous engine (the serial oracle) and a manually-pumped
+// async engine with seeded irregular pump points; after the final drain the
+// two must hold bit-identical snapshots and both must conserve mass
+// exactly. batch_size 1 pins the shard trajectories so "identical" means
+// identical bits, not identical-within-tolerance (publishes flush shard
+// buffers, so with batching the merge *timing* would perturb coalescing
+// boundaries and the comparison would no longer be exact by construction).
+
+class EngineSyncAsyncOracleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSyncAsyncOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 20),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+TEST_P(EngineSyncAsyncOracleTest, PostDrainSnapshotsBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  constexpr char kKey[] = "oracle.key";
+
+  engine::EngineOptions async_options;
+  async_options.shards = 4;
+  async_options.batch_size = 1;
+  async_options.snapshot_every = 256;
+  async_options.async_publish = true;
+  async_options.merge_workers = 0;  // manual pump: deterministic schedule
+  engine::EngineOptions sync_options = async_options;
+  sync_options.async_publish = false;
+
+  engine::HistogramEngine async_engine(async_options);
+  engine::HistogramEngine sync_engine(sync_options);
+
+  ClusterDataConfig config;
+  config.num_points = 6'000;
+  config.domain_size = kDomain;
+  config.num_clusters = 40;
+  config.seed = seed;
+  Rng rng(seed + 10'000);
+  const UpdateStream stream =
+      MakeMixedStream(GenerateClusterData(config), 0.3, rng);
+
+  // Seeded pump/refresh schedule: drains and explicit refreshes hit both
+  // engines at arbitrary stream positions.
+  Rng schedule(seed + 20'000);
+  FrequencyVector truth(kDomain);
+  std::size_t i = 0;
+  for (const UpdateOp& op : stream) {
+    testing::ApplyToEngine(async_engine, kKey, op);
+    testing::ApplyToEngine(sync_engine, kKey, op);
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      truth.Insert(op.value);
+    } else {
+      truth.Delete(op.value);
+    }
+    ++i;
+    if (schedule.Bernoulli(1.0 / 701.0)) async_engine.PumpPublishes();
+    if (schedule.Bernoulli(1.0 / 1709.0)) {
+      async_engine.RefreshSnapshot(kKey);
+      sync_engine.RefreshSnapshot(kKey);
+    }
+  }
+
+  async_engine.DrainPublishes();
+  async_engine.RefreshAll();
+  sync_engine.RefreshAll();
+
+  const engine::EngineSnapshot a = async_engine.Snapshot(kKey);
+  const engine::EngineSnapshot s = sync_engine.Snapshot(kKey);
+  ASSERT_EQ(a.watermark(), static_cast<std::uint64_t>(stream.size()));
+  ASSERT_EQ(s.watermark(), static_cast<std::uint64_t>(stream.size()));
+  EXPECT_TRUE(testing::ModelsBitIdentical(a.model(), s.model()))
+      << "seed " << seed;
+
+  // Exact mass conservation through buffers, shards, queue, and merges.
+  const auto expected = static_cast<double>(truth.TotalCount());
+  EXPECT_DOUBLE_EQ(async_engine.LiveTotalCount(kKey), expected);
+  EXPECT_DOUBLE_EQ(sync_engine.LiveTotalCount(kKey), expected);
+  EXPECT_NEAR(a.TotalCount(), expected, 1e-6 * (1.0 + expected));
+}
+
 }  // namespace
 }  // namespace dynhist

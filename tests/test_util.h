@@ -5,9 +5,12 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <vector>
 
 #include "src/data/frequency_vector.h"
+#include "src/data/update_stream.h"
+#include "src/engine/histogram_engine.h"
 #include "src/histogram/deviation.h"
 #include "src/histogram/model.h"
 
@@ -42,6 +45,26 @@ inline bool ModelIsValid(const HistogramModel& model) {
     prev_right = p.right;
   }
   return true;
+}
+
+/// Exact structural equality of two models: identical piece lists (every
+/// border and count bit for bit) and identical bucket tiling. This is the
+/// oracle comparison for the sync-vs-async engine tests: with batch_size 1
+/// the same op sequence must yield byte-identical publications no matter
+/// when merges ran.
+inline bool ModelsBitIdentical(const HistogramModel& a,
+                               const HistogramModel& b) {
+  return a.pieces() == b.pieces() && a.buckets() == b.buckets();
+}
+
+/// Feeds one update-stream operation to an engine key.
+inline void ApplyToEngine(engine::HistogramEngine& engine,
+                          std::string_view key, const UpdateOp& op) {
+  if (op.kind == UpdateOp::Kind::kInsert) {
+    engine.Insert(key, op.value);
+  } else {
+    engine.Delete(key, op.value);
+  }
 }
 
 /// Exhaustive optimal partition cost over `entries` into `buckets` buckets
