@@ -23,6 +23,12 @@
 // enqueues a publish request. The phase FAILS the run (nonzero exit) if
 // async boundary p99 is not at least 5x lower — this is the PR-4
 // acceptance gate, enforced on every scripts/check.sh run.
+//
+// A fifth phase gates instrumentation overhead: single-writer ingest
+// with telemetry recording enabled vs disabled
+// (EngineOptions::enable_telemetry), best-of-3 interleaved runs. The
+// phase FAILS the run if telemetry costs more than 5% of ingest
+// throughput — the telemetry-subsystem acceptance gate.
 
 #include <algorithm>
 #include <chrono>
@@ -244,6 +250,40 @@ int main(int argc, char** argv) {
   EmitJsonSeries("micro_engine_throughput", "updates_per_sec_serial",
                  thread_counts, serial_ups);
 
+  // Instrumentation overhead: identical single-writer ingest with
+  // telemetry recording on vs off. Interleaved best-of-3 per mode: the
+  // best run is each mode's attainable rate with this container's noise
+  // floored out, so the ratio isolates the recording sites (per-op
+  // counter increments plus batch-granular histogram records) rather
+  // than scheduler jitter.
+  EngineOptions tel_on = sharded;
+  EngineOptions tel_off = sharded;
+  tel_off.enable_telemetry = false;
+  double best_on = 0.0;
+  double best_off = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    best_off = std::max(best_off, MeasureIngest(tel_off, values, 1));
+    best_on = std::max(best_on, MeasureIngest(tel_on, values, 1));
+  }
+  const double overhead_pct =
+      best_off > 0.0 ? 100.0 * (1.0 - best_on / best_off) : 0.0;
+  std::printf("\ntelemetry overhead (1 writer, best of 3): on %.0f up/s, "
+              "off %.0f up/s, overhead %.1f%%\n",
+              best_on, best_off, overhead_pct);
+  EmitJsonSeries("micro_engine_throughput", "updates_per_sec_telemetry_on",
+                 {0}, {best_on});
+  EmitJsonSeries("micro_engine_throughput", "updates_per_sec_telemetry_off",
+                 {0}, {best_off});
+  EmitJsonSeries("micro_engine_throughput", "telemetry_overhead_pct", {0},
+                 {overhead_pct});
+  bool telemetry_gate_ok = true;
+  if (overhead_pct > 5.0) {
+    std::printf("FAIL: telemetry must cost <= 5%% of ingest throughput "
+                "(got %.1f%%)\n",
+                overhead_pct);
+    telemetry_gate_ok = false;
+  }
+
   // Ingest latency at snapshot_every boundaries: sync publish pays the
   // merge on the writer thread; async publish enqueues and returns. Two
   // async flavors are measured:
@@ -340,5 +380,5 @@ int main(int argc, char** argv) {
               ks_direct, ks_engine);
   EmitJsonSeries("micro_engine_throughput", "ks_direct", {0}, {ks_direct});
   EmitJsonSeries("micro_engine_throughput", "ks_engine", {0}, {ks_engine});
-  return latency_gate_ok ? 0 : 1;
+  return latency_gate_ok && telemetry_gate_ok ? 0 : 1;
 }

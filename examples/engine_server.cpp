@@ -12,19 +12,68 @@
 // cadence via SetKeyOptions. At the end the final snapshot is scored
 // (KS distance, §6.2) against the exact FrequencyVector ground truth
 // assembled from everything the writers actually did.
+//
+// The run also demonstrates the telemetry subsystem: per-key stats
+// (Stats(key).ToJson()) are printed, and the engine's metrics
+// exposition / trace ring can be dumped to files:
+//   --metrics-out=PATH       Prometheus text exposition
+//   --metrics-json-out=PATH  JSON exposition
+//   --trace-out=PATH         chrome://tracing event dump
+// The Prometheus dump is always run through SelfCheckPrometheus (even
+// without --metrics-out) and the process exits nonzero if the format
+// check fails — this is the exposition gate check.sh relies on.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/dynhist.h"
 
-int main() {
+namespace {
+
+// Writes `text` to `path`; returns false (with a diagnostic) on failure.
+bool WriteFileOrComplain(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "engine_server: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "engine_server: short write to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dynhist;
   using namespace dynhist::engine;
+
+  std::string metrics_out, metrics_json_out, trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg.rfind("--metrics-json-out=", 0) == 0) {
+      metrics_json_out = arg.substr(19);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else {
+      std::fprintf(stderr, "engine_server: unknown flag '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
 
   constexpr std::int64_t kDomain = 5'001;
   constexpr int kWriters = 4;
@@ -160,5 +209,38 @@ int main() {
               estimator.SelectivityRange(1'000, 2'000),
               static_cast<double>(truth.RangeCount(1'000, 2'000)) /
                   static_cast<double>(n));
+
+  // Observability: per-key stats and the metrics exposition endpoint.
+  std::printf("\nstats[%s]:  %s\n", kKey, engine.Stats(kKey).ToJson().c_str());
+  std::printf("stats[%s]: %s\n", kColdKey,
+              engine.Stats(kColdKey).ToJson().c_str());
+  std::printf("trace ring: %llu events recorded, %llu dropped\n",
+              static_cast<unsigned long long>(engine.trace().recorded()),
+              static_cast<unsigned long long>(engine.trace().dropped()));
+
+  std::string prom;
+  engine.WriteMetricsPrometheus(&prom);
+  std::string format_error;
+  if (!telemetry::SelfCheckPrometheus(prom, &format_error)) {
+    std::fprintf(stderr,
+                 "engine_server: metrics exposition FAILED self-check: %s\n",
+                 format_error.c_str());
+    return 1;
+  }
+  std::printf("metrics exposition: %zu bytes, self-check passed\n",
+              prom.size());
+  if (!metrics_out.empty() && !WriteFileOrComplain(metrics_out, prom)) {
+    return 1;
+  }
+  if (!metrics_json_out.empty()) {
+    std::string json;
+    engine.WriteMetricsJson(&json);
+    if (!WriteFileOrComplain(metrics_json_out, json)) return 1;
+  }
+  if (!trace_out.empty()) {
+    std::string trace;
+    engine.WriteTraceJson(&trace);
+    if (!WriteFileOrComplain(trace_out, trace)) return 1;
+  }
   return 0;
 }

@@ -3,14 +3,21 @@
 # then smoke-run the merge-pipeline and concurrent-engine micro-benchmarks
 # in quick mode (micro_merge_pipeline exits nonzero if the publish-path
 # speedup or parity criteria regress; micro_engine_throughput exits
-# nonzero if async publish stops cutting boundary-op p99 latency >= 5x).
+# nonzero if async publish stops cutting boundary-op p99 latency >= 5x
+# or if telemetry costs more than 5% of ingest throughput).
 #
-# Usage: scripts/check.sh [--bench-json] [build_dir]
+# Usage: scripts/check.sh [--bench-json] [--metrics-json] [build_dir]
 #   (default build dir: build)
 #
 # --bench-json additionally captures the benches' machine-readable series
 # (one JSON object per line) into BENCH_PR4.json at the repo root — the
 # perf-trajectory record (BENCH_PR2.json holds the PR-2 era series).
+#
+# --metrics-json additionally runs scripts/metrics_dump.sh after the
+# benches, dropping the engine's metrics exposition and trace artifacts
+# (METRICS_PR5.prom / METRICS_PR5.json / TRACE_PR5.json) at the repo
+# root next to the BENCH_*.json series. The dump runs the Prometheus
+# format self-check and the whole check fails if the exposition does.
 #
 # This is the tier-1 sequence from ROADMAP.md plus the benches, so a single
 # run catches build breaks, unit/concurrency regressions, and gross
@@ -32,10 +39,12 @@ if [[ -e CMakeCache.txt || -d CMakeFiles ]]; then
 fi
 
 BENCH_JSON=0
+METRICS_JSON=0
 BUILD_DIR=build
 for arg in "$@"; do
   case "$arg" in
     --bench-json) BENCH_JSON=1 ;;
+    --metrics-json) METRICS_JSON=1 ;;
     --*) echo "check.sh: unknown flag '$arg'" >&2; exit 2 ;;
     *) BUILD_DIR="$arg" ;;
   esac
@@ -77,6 +86,11 @@ run_bench "$BUILD_DIR/micro_engine_throughput" --quick
 
 if [[ "$BENCH_JSON" == 1 ]]; then
   echo "== bench series written to BENCH_PR4.json =="
+fi
+
+if [[ "$METRICS_JSON" == 1 ]]; then
+  echo "== metrics dump (exposition self-check gate) =="
+  scripts/metrics_dump.sh "$BUILD_DIR"
 fi
 
 echo "== check.sh: all green =="

@@ -104,6 +104,22 @@ struct EngineOptions {
   /// publish; a full queue rejects the request (counted in EngineStats)
   /// and the key retries at its next cadence trip.
   int publish_queue_capacity = 1024;
+
+  /// Telemetry (src/telemetry/): latency/size distributions, the event
+  /// trace ring, and queue-wait accounting. False skips every recording
+  /// site — the distributions stay empty and queue-wait counters stay 0,
+  /// the overhead bench's baseline mode — while the EngineStats counters
+  /// (which predate telemetry and are the publish cadence's bookkeeping)
+  /// are always maintained. Building with -DDYNHIST_TELEMETRY=0
+  /// additionally compiles the recording primitives themselves to no-ops.
+  bool enable_telemetry = true;
+
+  /// Capacity (events, rounded up to a power of two) of the trace ring
+  /// recording publish/merge/flush/reject events; the newest events
+  /// survive and HistogramEngine::WriteTraceJson dumps them as a
+  /// chrome://tracing document. 0 disables tracing. Ignored (treated as
+  /// 0) when enable_telemetry is false.
+  int trace_capacity = 4096;
 };
 
 /// Per-key overrides layered over the engine-wide EngineOptions by

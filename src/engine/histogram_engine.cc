@@ -1,7 +1,8 @@
 #include "src/engine/histogram_engine.h"
 
 #include <algorithm>
-#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
 #include "src/common/check.h"
@@ -20,27 +21,91 @@ std::uint64_t MixValue(std::int64_t value) {
   return z ^ (z >> 31);
 }
 
+void BumpMax(std::atomic<std::uint64_t>& cell, std::uint64_t value) {
+  std::uint64_t prev = cell.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !cell.compare_exchange_weak(prev, value, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
-HistogramEngine::KeyState::KeyState(const EngineOptions& options)
-    : snapshot_every(options.snapshot_every),
+std::string EngineStats::ToJson() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"keys\":%" PRIu64 ",\"inserts\":%" PRIu64 ",\"deletes\":%" PRIu64
+      ",\"queries\":%" PRIu64 ",\"publishes\":%" PRIu64
+      ",\"async_publishes\":%" PRIu64 ",\"publish_queued\":%" PRIu64
+      ",\"publish_coalesced\":%" PRIu64 ",\"publish_rejected\":%" PRIu64
+      ",\"publish_skipped\":%" PRIu64 ",\"publish_nanos\":%" PRIu64
+      ",\"max_publish_nanos\":%" PRIu64 ",\"queue_wait_nanos\":%" PRIu64
+      ",\"snapshot_epoch\":%" PRIu64 "}",
+      keys, inserts, deletes, queries, publishes, async_publishes,
+      publish_queued, publish_coalesced, publish_rejected, publish_skipped,
+      publish_nanos, max_publish_nanos, queue_wait_nanos, snapshot_epoch);
+  return buf;
+}
+
+HistogramEngine::KeyState::KeyState(std::string key_name,
+                                    const EngineOptions& options,
+                                    const ShardTelemetry& shard_telemetry)
+    : name(std::move(key_name)),
+      snapshot_every(options.snapshot_every),
       merged_buckets(options.merged_buckets),
       legacy_reduce(options.use_legacy_cell_reduce),
       async_publish(options.async_publish) {
   shards.reserve(static_cast<std::size_t>(options.shards));
   for (int i = 0; i < options.shards; ++i) {
-    shards.push_back(std::make_unique<EngineShard>(options));
+    shards.push_back(
+        std::make_unique<EngineShard>(options, shard_telemetry));
   }
 }
 
 HistogramEngine::HistogramEngine(const EngineOptions& options)
-    : options_(options) {
+    : options_(options),
+      telemetry_on_(options.enable_telemetry),
+      trace_(telemetry_on_ && options.trace_capacity > 0
+                 ? static_cast<std::size_t>(options.trace_capacity)
+                 : 0),
+      publish_latency_hist_(metrics_.AddHistogram(
+          "dynhist_publish_latency_ns",
+          "Publication duration (flush + merge + snapshot swap) in ns",
+          telemetry::LogBucketer::PowersOfTwo())),
+      queue_wait_hist_(metrics_.AddHistogram(
+          "dynhist_publish_queue_wait_ns",
+          "Time publish requests spent queued (enqueue to drain) in ns",
+          telemetry::LogBucketer::PowersOfTwo())),
+      ingest_batch_hist_(metrics_.AddHistogram(
+          "dynhist_ingest_batch_ops",
+          "Operations per drained shard batch",
+          telemetry::LogBucketer::PerDecade(4))),
+      coalesce_run_hist_(metrics_.AddHistogram(
+          "dynhist_coalesce_run_length",
+          "Duplicate operations collapsed per coalesced group (runs >= 2)",
+          telemetry::LogBucketer::PerDecade(4))) {
   DH_CHECK(options_.shards >= 1);
   DH_CHECK(options_.batch_size >= 1);
   DH_CHECK(options_.snapshot_every >= 0);
   DH_CHECK(options_.merged_buckets >= 0);
   DH_CHECK(options_.merge_workers >= 0);
   DH_CHECK(options_.publish_queue_capacity >= 0);
+  DH_CHECK(options_.trace_capacity >= 0);
+  metrics_.AddCallback(
+      "dynhist_engine_publish_queue_depth",
+      "Publish requests currently queued", telemetry::MetricKind::kGauge,
+      {}, [this] { return static_cast<double>(PublishQueueDepth()); });
+  metrics_.AddCallback(
+      "dynhist_trace_events_recorded_total",
+      "Events ever recorded into the trace ring",
+      telemetry::MetricKind::kCounter, {},
+      [this] { return static_cast<double>(trace_.recorded()); });
+  metrics_.AddCallback(
+      "dynhist_trace_events_dropped_total",
+      "Trace events overwritten before being read",
+      telemetry::MetricKind::kCounter, {},
+      [this] { return static_cast<double>(trace_.dropped()); });
   if (options_.background_interval_ms > 0) {
     background_ = std::thread([this] { BackgroundLoop(); });
   }
@@ -71,11 +136,105 @@ HistogramEngine::KeyState* HistogramEngine::FindKey(
 HistogramEngine::KeyState* HistogramEngine::FindOrCreateKey(
     std::string_view key) {
   if (KeyState* state = FindKey(key)) return state;
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
-  auto [it, inserted] =
-      registry_.try_emplace(std::string(key), nullptr);
-  if (inserted) it->second = std::make_unique<KeyState>(options_);
-  return it->second.get();
+  KeyState* created = nullptr;
+  KeyState* state = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    auto [it, inserted] = registry_.try_emplace(std::string(key), nullptr);
+    if (inserted) {
+      it->second = std::make_unique<KeyState>(
+          it->first, options_,
+          ShardTelemetry{telemetry_on_ ? ingest_batch_hist_ : nullptr,
+                         telemetry_on_ ? coalesce_run_hist_ : nullptr});
+      created = it->second.get();
+    }
+    state = it->second.get();
+  }
+  // Metric registration happens after registry_mu_ is released (see
+  // RegisterKeyMetrics): only the inserting thread registers, so the
+  // key's series appear exactly once.
+  if (created != nullptr) RegisterKeyMetrics(*created);
+  return state;
+}
+
+void HistogramEngine::RegisterKeyMetrics(KeyState& state) {
+  const telemetry::Labels labels = {{"key", state.name}};
+  const auto counter = [&](const char* name, const char* help,
+                           const std::atomic<std::uint64_t>& cell) {
+    metrics_.AddCallback(name, help, telemetry::MetricKind::kCounter,
+                         labels, [&cell] {
+                           return static_cast<double>(
+                               cell.load(std::memory_order_acquire));
+                         });
+  };
+  KeyCounters& c = state.counters;
+  counter("dynhist_key_inserts_total", "Insert() calls accepted",
+          c.inserts);
+  counter("dynhist_key_deletes_total", "Delete() calls accepted",
+          c.deletes);
+  counter("dynhist_key_queries_total", "Snapshot/estimate reads served",
+          c.queries);
+  counter("dynhist_key_publishes_total", "Snapshot publications",
+          c.publishes);
+  counter("dynhist_key_async_publishes_total",
+          "Publications run off the publish queue", c.async_publishes);
+  counter("dynhist_key_publish_queued_total",
+          "Publish requests accepted onto the queue", c.publish_queued);
+  counter("dynhist_key_publish_coalesced_total",
+          "Cadence trips absorbed by an already-pending request",
+          c.publish_coalesced);
+  counter("dynhist_key_publish_rejected_total",
+          "Publish requests dropped because the queue was full",
+          c.publish_rejected);
+  counter("dynhist_key_publish_skipped_total",
+          "Drained requests elided because a newer publication covered "
+          "them",
+          c.publish_skipped);
+  counter("dynhist_key_publish_nanos_total",
+          "Total nanoseconds spent publishing this key", c.publish_nanos);
+  counter("dynhist_key_queue_wait_nanos_total",
+          "Total nanoseconds this key's requests sat queued",
+          c.queue_wait_nanos);
+
+  KeyState* s = &state;
+  metrics_.AddCallback(
+      "dynhist_key_snapshot_epoch",
+      "Published snapshot epoch (0 = never published)",
+      telemetry::MetricKind::kGauge, labels, [s] {
+        return static_cast<double>(
+            s->epoch.load(std::memory_order_relaxed));
+      });
+  metrics_.AddCallback(
+      "dynhist_key_staleness_updates",
+      "Accepted updates not yet covered by the published snapshot",
+      telemetry::MetricKind::kGauge, labels, [s] {
+        const std::uint64_t count =
+            s->update_count.load(std::memory_order_relaxed);
+        const std::uint64_t published =
+            s->published_at.load(std::memory_order_relaxed);
+        return count > published
+                   ? static_cast<double>(count - published)
+                   : 0.0;
+      });
+  metrics_.AddCallback(
+      "dynhist_key_staleness_seconds",
+      "Seconds since the last publication (since engine start when "
+      "never published; 0 without telemetry)",
+      telemetry::MetricKind::kGauge, labels, [this, s] {
+        if (!telemetry_on_) return 0.0;
+        const std::uint64_t now = trace_.NowNs();
+        const std::uint64_t last =
+            s->last_publish_ns.load(std::memory_order_relaxed);
+        return now > last ? static_cast<double>(now - last) / 1e9 : 0.0;
+      });
+  metrics_.AddCallback(
+      "dynhist_key_buffered_ops",
+      "Operations in shard buffers not yet applied to shard histograms",
+      telemetry::MetricKind::kGauge, labels, [s] {
+        std::size_t buffered = 0;
+        for (const auto& shard : s->shards) buffered += shard->BufferedOps();
+        return static_cast<double>(buffered);
+      });
 }
 
 std::size_t HistogramEngine::ShardIndexFor(const KeyState& state,
@@ -89,24 +248,26 @@ EngineShard& HistogramEngine::ShardFor(KeyState& state,
   return *state.shards[ShardIndexFor(state, value)];
 }
 
-void HistogramEngine::Update(std::string_view key, const UpdateOp& op) {
+HistogramEngine::KeyState* HistogramEngine::Update(std::string_view key,
+                                                   const UpdateOp& op) {
   KeyState* state = FindOrCreateKey(key);
   ShardFor(*state, op.value).Push(op);
   state->update_count.fetch_add(1, std::memory_order_relaxed);
   MaybeAutoPublish(*state);
+  return state;
 }
 
 void HistogramEngine::Insert(std::string_view key, std::int64_t value) {
   // Counter increments follow the counted work (here and below): the
   // release store must carry the operation's writes for the EngineStats
   // acquire-read contract to hold.
-  Update(key, UpdateOp::Insert(value));
-  inserts_.fetch_add(1, std::memory_order_release);
+  Update(key, UpdateOp::Insert(value))
+      ->counters.inserts.fetch_add(1, std::memory_order_release);
 }
 
 void HistogramEngine::Delete(std::string_view key, std::int64_t value) {
-  Update(key, UpdateOp::Delete(value));
-  deletes_.fetch_add(1, std::memory_order_release);
+  Update(key, UpdateOp::Delete(value))
+      ->counters.deletes.fetch_add(1, std::memory_order_release);
 }
 
 void HistogramEngine::InsertBatch(std::string_view key,
@@ -121,28 +282,46 @@ void HistogramEngine::InsertBatch(std::string_view key,
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
     state->shards[s]->PushMany(per_shard[s]);
   }
-  inserts_.fetch_add(values.size(), std::memory_order_release);
+  state->counters.inserts.fetch_add(values.size(),
+                                    std::memory_order_release);
   state->update_count.fetch_add(values.size(), std::memory_order_relaxed);
   MaybeAutoPublish(*state);
 }
 
 void HistogramEngine::Flush(std::string_view key) {
   if (KeyState* state = FindKey(key)) {
+    const std::uint64_t start_ns = trace_.NowNs();
     for (const auto& shard : state->shards) shard->Flush();
+    if (telemetry_on_ && trace_.enabled()) {
+      trace_.Record({telemetry::TraceEventKind::kFlush,
+                     state->name.c_str(), "manual",
+                     state->epoch.load(std::memory_order_relaxed),
+                     start_ns, trace_.NowNs() - start_ns, 0});
+    }
   }
 }
 
 void HistogramEngine::FlushAll() {
   std::shared_lock<std::shared_mutex> lock(registry_mu_);
   for (const auto& [name, state] : registry_) {
+    const std::uint64_t start_ns = trace_.NowNs();
     for (const auto& shard : state->shards) shard->Flush();
+    if (telemetry_on_ && trace_.enabled()) {
+      trace_.Record({telemetry::TraceEventKind::kFlush,
+                     state->name.c_str(), "manual",
+                     state->epoch.load(std::memory_order_relaxed),
+                     start_ns, trace_.NowNs() - start_ns, 0});
+    }
   }
 }
 
 EngineSnapshot HistogramEngine::Snapshot(std::string_view key) const {
-  const KeyState* state = FindKey(key);
-  queries_.fetch_add(1, std::memory_order_release);
-  if (state == nullptr) return EngineSnapshot();
+  KeyState* state = FindKey(key);
+  if (state == nullptr) {
+    unknown_queries_.fetch_add(1, std::memory_order_release);
+    return EngineSnapshot();
+  }
+  state->counters.queries.fetch_add(1, std::memory_order_release);
   std::shared_ptr<const VersionedModel> published =
       state->published.load(std::memory_order_acquire);
   if (published == nullptr) return EngineSnapshot();
@@ -150,10 +329,12 @@ EngineSnapshot HistogramEngine::Snapshot(std::string_view key) const {
 }
 
 EngineSnapshot HistogramEngine::RefreshSnapshot(std::string_view key) {
-  return Publish(*FindOrCreateKey(key));
+  return Publish(*FindOrCreateKey(key), "refresh");
 }
 
-void HistogramEngine::RefreshAll() {
+void HistogramEngine::RefreshAll() { RefreshAllInternal("refresh"); }
+
+void HistogramEngine::RefreshAllInternal(const char* trigger) {
   std::vector<KeyState*> states;
   {
     std::shared_lock<std::shared_mutex> lock(registry_mu_);
@@ -163,7 +344,7 @@ void HistogramEngine::RefreshAll() {
   for (KeyState* state : states) {
     if (state->update_count.load(std::memory_order_relaxed) >
         state->published_at.load(std::memory_order_relaxed)) {
-      Publish(*state);
+      Publish(*state, trigger);
     }
   }
 }
@@ -186,30 +367,114 @@ double HistogramEngine::LiveTotalCount(std::string_view key) {
   return total;
 }
 
-EngineStats HistogramEngine::Stats() const {
-  EngineStats stats;
-  {
-    std::shared_lock<std::shared_mutex> lock(registry_mu_);
-    stats.keys = registry_.size();
-  }
+void HistogramEngine::AccumulateStats(const KeyState& state,
+                                      EngineStats* stats) {
   // Acquire loads pair with the release increments (see the EngineStats
   // contract): observing a count implies observing the work it counts.
-  stats.inserts = inserts_.load(std::memory_order_acquire);
-  stats.deletes = deletes_.load(std::memory_order_acquire);
-  stats.queries = queries_.load(std::memory_order_acquire);
-  stats.publishes = publishes_.load(std::memory_order_acquire);
-  stats.async_publishes = async_publishes_.load(std::memory_order_acquire);
-  stats.publish_queued = publish_queued_.load(std::memory_order_acquire);
-  stats.publish_coalesced =
-      publish_coalesced_.load(std::memory_order_acquire);
-  stats.publish_rejected =
-      publish_rejected_.load(std::memory_order_acquire);
-  stats.publish_skipped =
-      publish_skipped_.load(std::memory_order_acquire);
-  stats.publish_nanos = publish_nanos_.load(std::memory_order_acquire);
-  stats.max_publish_nanos =
-      max_publish_nanos_.load(std::memory_order_acquire);
+  const KeyCounters& c = state.counters;
+  stats->inserts += c.inserts.load(std::memory_order_acquire);
+  stats->deletes += c.deletes.load(std::memory_order_acquire);
+  stats->queries += c.queries.load(std::memory_order_acquire);
+  stats->publishes += c.publishes.load(std::memory_order_acquire);
+  stats->async_publishes +=
+      c.async_publishes.load(std::memory_order_acquire);
+  stats->publish_queued += c.publish_queued.load(std::memory_order_acquire);
+  stats->publish_coalesced +=
+      c.publish_coalesced.load(std::memory_order_acquire);
+  stats->publish_rejected +=
+      c.publish_rejected.load(std::memory_order_acquire);
+  stats->publish_skipped +=
+      c.publish_skipped.load(std::memory_order_acquire);
+  stats->publish_nanos += c.publish_nanos.load(std::memory_order_acquire);
+  stats->max_publish_nanos =
+      std::max(stats->max_publish_nanos,
+               c.max_publish_nanos.load(std::memory_order_acquire));
+  stats->queue_wait_nanos +=
+      c.queue_wait_nanos.load(std::memory_order_acquire);
+  stats->snapshot_epoch += state.epoch.load(std::memory_order_acquire);
+}
+
+EngineStats HistogramEngine::Stats() const {
+  EngineStats stats;
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  stats.keys = registry_.size();
+  for (const auto& [name, state] : registry_) {
+    AccumulateStats(*state, &stats);
+  }
+  stats.queries += unknown_queries_.load(std::memory_order_acquire);
   return stats;
+}
+
+EngineStats HistogramEngine::Stats(std::string_view key) const {
+  EngineStats stats;
+  const KeyState* state = FindKey(key);
+  if (state == nullptr) return stats;
+  stats.keys = 1;
+  AccumulateStats(*state, &stats);
+  return stats;
+}
+
+telemetry::MetricsSnapshot HistogramEngine::CollectMetrics() const {
+  telemetry::MetricsSnapshot snapshot = metrics_.Collect();
+  const EngineStats stats = Stats();
+  const auto add = [&snapshot](const char* name, const char* help,
+                               telemetry::MetricKind kind,
+                               std::uint64_t value) {
+    snapshot.samples.push_back(telemetry::MetricSample{
+        name, help, kind, {}, static_cast<double>(value)});
+  };
+  using telemetry::MetricKind;
+  add("dynhist_engine_keys", "Registered histogram keys",
+      MetricKind::kGauge, stats.keys);
+  add("dynhist_engine_inserts_total", "Insert() calls accepted",
+      MetricKind::kCounter, stats.inserts);
+  add("dynhist_engine_deletes_total", "Delete() calls accepted",
+      MetricKind::kCounter, stats.deletes);
+  add("dynhist_engine_queries_total",
+      "Snapshot/estimate reads served (unknown keys included)",
+      MetricKind::kCounter, stats.queries);
+  add("dynhist_engine_publishes_total",
+      "Snapshot publications across all keys", MetricKind::kCounter,
+      stats.publishes);
+  add("dynhist_engine_async_publishes_total",
+      "Publications run off the publish queue", MetricKind::kCounter,
+      stats.async_publishes);
+  add("dynhist_engine_publish_queued_total",
+      "Publish requests accepted onto the queue", MetricKind::kCounter,
+      stats.publish_queued);
+  add("dynhist_engine_publish_coalesced_total",
+      "Cadence trips absorbed by an already-pending request",
+      MetricKind::kCounter, stats.publish_coalesced);
+  add("dynhist_engine_publish_rejected_total",
+      "Publish requests dropped because the queue was full",
+      MetricKind::kCounter, stats.publish_rejected);
+  add("dynhist_engine_publish_skipped_total",
+      "Drained requests elided because a newer publication covered them",
+      MetricKind::kCounter, stats.publish_skipped);
+  add("dynhist_engine_publish_nanos_total",
+      "Total nanoseconds spent publishing", MetricKind::kCounter,
+      stats.publish_nanos);
+  add("dynhist_engine_max_publish_nanos", "Slowest single publication, ns",
+      MetricKind::kGauge, stats.max_publish_nanos);
+  add("dynhist_engine_queue_wait_nanos_total",
+      "Total nanoseconds publish requests sat queued",
+      MetricKind::kCounter, stats.queue_wait_nanos);
+  add("dynhist_engine_snapshot_epochs",
+      "Sum of per-key published epochs (equals publishes at sync points)",
+      MetricKind::kGauge, stats.snapshot_epoch);
+  return snapshot;
+}
+
+void HistogramEngine::WriteMetricsPrometheus(std::string* out) const {
+  telemetry::WritePrometheus(CollectMetrics(), out);
+}
+
+void HistogramEngine::WriteMetricsJson(std::string* out) const {
+  telemetry::WriteJson(CollectMetrics(), out);
+}
+
+void HistogramEngine::WriteTraceJson(std::string* out) const {
+  trace_.DumpChromeTracing(out);
 }
 
 void HistogramEngine::MaybeAutoPublish(KeyState& state) {
@@ -244,7 +509,7 @@ void HistogramEngine::MaybeAutoPublish(KeyState& state) {
       static_cast<std::uint64_t>(every)) {
     return;  // lost the race to a concurrent publisher
   }
-  Publish(state, std::move(lock));
+  Publish(state, std::move(lock), "sync");
 }
 
 void HistogramEngine::RequestAsyncPublish(KeyState& state,
@@ -253,9 +518,16 @@ void HistogramEngine::RequestAsyncPublish(KeyState& state,
   if (state.publish_pending.exchange(true, std::memory_order_acq_rel)) {
     // A request for this key is already queued; the worker will publish
     // the key's newest state, so this trip rides along for free.
-    publish_coalesced_.fetch_add(1, std::memory_order_release);
+    state.counters.publish_coalesced.fetch_add(1,
+                                               std::memory_order_release);
     return;
   }
+  // Stamp the enqueue time before the request becomes poppable (the
+  // queue mutex orders this store before the worker's read).
+  if (telemetry_on_) {
+    state.enqueued_at_ns.store(trace_.NowNs(), std::memory_order_relaxed);
+  }
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (!queue_stopping_ &&
@@ -268,11 +540,21 @@ void HistogramEngine::RequestAsyncPublish(KeyState& state,
       // pending flag so the key's next cadence trip retries. Staleness
       // stays bounded by one extra snapshot_every of updates.
       state.publish_pending.store(false, std::memory_order_release);
-      publish_rejected_.fetch_add(1, std::memory_order_release);
-      return;
+      rejected = true;
     }
   }
-  publish_queued_.fetch_add(1, std::memory_order_release);
+  if (rejected) {
+    state.counters.publish_rejected.fetch_add(1,
+                                              std::memory_order_release);
+    if (telemetry_on_ && trace_.enabled()) {
+      trace_.Record({telemetry::TraceEventKind::kReject,
+                     state.name.c_str(), "async",
+                     state.epoch.load(std::memory_order_relaxed),
+                     trace_.NowNs(), 0, 0});
+    }
+    return;
+  }
+  state.counters.publish_queued.fetch_add(1, std::memory_order_release);
   queue_cv_.notify_one();
 }
 
@@ -302,15 +584,28 @@ bool HistogramEngine::RunOneQueuedPublish() {
   // store, so the skip check below can never act on a stale requested_at
   // and elide a merge a coalesced trip still needs.
   state->publish_pending.exchange(false, std::memory_order_acq_rel);
+  if (telemetry_on_) {
+    // Queue wait is accounted whether the drained request publishes or
+    // is elided — it is a queue property, not a merge property.
+    const std::uint64_t enqueued =
+        state->enqueued_at_ns.load(std::memory_order_relaxed);
+    const std::uint64_t now = trace_.NowNs();
+    const std::uint64_t wait = now > enqueued ? now - enqueued : 0;
+    queue_wait_hist_->Record(wait);
+    state->counters.queue_wait_nanos.fetch_add(wait,
+                                               std::memory_order_release);
+  }
   if (state->published_at.load(std::memory_order_relaxed) >=
       state->requested_at.load(std::memory_order_relaxed)) {
     // An inline RefreshSnapshot()/RefreshAll() (or a merge absorbing a
     // coalesced trip) already published past every update this request
     // asked for — the merge would republish identical state; elide it.
-    publish_skipped_.fetch_add(1, std::memory_order_release);
+    state->counters.publish_skipped.fetch_add(1,
+                                              std::memory_order_release);
   } else {
-    Publish(*state);
-    async_publishes_.fetch_add(1, std::memory_order_release);
+    Publish(*state, "async");
+    state->counters.async_publishes.fetch_add(1,
+                                              std::memory_order_release);
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -420,15 +715,17 @@ EngineOptions HistogramEngine::EffectiveOptions(std::string_view key) const {
   return effective;
 }
 
-EngineSnapshot HistogramEngine::Publish(KeyState& state) {
-  return Publish(state,
-                 std::unique_lock<std::mutex>(state.publish_mu));
+EngineSnapshot HistogramEngine::Publish(KeyState& state,
+                                        const char* trigger) {
+  return Publish(state, std::unique_lock<std::mutex>(state.publish_mu),
+                 trigger);
 }
 
 EngineSnapshot HistogramEngine::Publish(
-    KeyState& state, std::unique_lock<std::mutex> publish_lock) {
+    KeyState& state, std::unique_lock<std::mutex> publish_lock,
+    const char* trigger) {
   DH_CHECK(publish_lock.owns_lock());
-  const auto publish_start = std::chrono::steady_clock::now();
+  const std::uint64_t start_ns = trace_.NowNs();
   // Conservative watermark: updates pushed after this load simply count
   // toward the next publication even if this merge happens to absorb them.
   const std::uint64_t watermark =
@@ -440,12 +737,16 @@ EngineSnapshot HistogramEngine::Publish(
     HistogramModel model = shard->ExportModel();
     if (!model.Empty()) models.push_back(std::move(model));
   }
+  const std::uint64_t exported_ns =
+      telemetry_on_ ? trace_.NowNs() : start_ns;
 
   HistogramModel merged = state.merger.MergeAndReduce(
       models, state.merged_buckets.load(std::memory_order_relaxed),
       state.legacy_reduce.load(std::memory_order_relaxed)
           ? distributed::ReduceMode::kCells
           : distributed::ReduceMode::kPieces);
+  const std::uint64_t merged_ns =
+      telemetry_on_ ? trace_.NowNs() : start_ns;
 
   const std::uint64_t epoch =
       state.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -453,19 +754,24 @@ EngineSnapshot HistogramEngine::Publish(
       VersionedModel{std::move(merged), epoch, watermark});
   state.published.store(versioned, std::memory_order_release);
   state.published_at.store(watermark, std::memory_order_relaxed);
-  publishes_.fetch_add(1, std::memory_order_release);
+  state.counters.publishes.fetch_add(1, std::memory_order_release);
 
-  const auto nanos = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - publish_start)
-          .count());
-  publish_nanos_.fetch_add(nanos, std::memory_order_release);
-  std::uint64_t prev_max =
-      max_publish_nanos_.load(std::memory_order_relaxed);
-  while (prev_max < nanos &&
-         !max_publish_nanos_.compare_exchange_weak(
-             prev_max, nanos, std::memory_order_release,
-             std::memory_order_relaxed)) {
+  const std::uint64_t end_ns = trace_.NowNs();
+  const std::uint64_t nanos = end_ns - start_ns;
+  state.counters.publish_nanos.fetch_add(nanos, std::memory_order_release);
+  BumpMax(state.counters.max_publish_nanos, nanos);
+  if (telemetry_on_) {
+    state.last_publish_ns.store(end_ns, std::memory_order_relaxed);
+    publish_latency_hist_->Record(nanos);
+    if (trace_.enabled()) {
+      const char* key = state.name.c_str();
+      trace_.Record({telemetry::TraceEventKind::kFlush, key, trigger,
+                     epoch, start_ns, exported_ns - start_ns, 0});
+      trace_.Record({telemetry::TraceEventKind::kMerge, key, trigger,
+                     epoch, exported_ns, merged_ns - exported_ns, 0});
+      trace_.Record({telemetry::TraceEventKind::kPublish, key, trigger,
+                     epoch, start_ns, nanos, 0});
+    }
   }
   return EngineSnapshot(std::move(versioned));
 }
@@ -478,7 +784,7 @@ void HistogramEngine::BackgroundLoop() {
     background_cv_.wait_for(lock, interval, [this] { return stopping_; });
     if (stopping_) break;
     lock.unlock();
-    RefreshAll();
+    RefreshAllInternal("background");
     lock.lock();
   }
 }

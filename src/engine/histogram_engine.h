@@ -68,10 +68,18 @@
 #include "src/engine/engine_options.h"
 #include "src/engine/shard.h"
 #include "src/engine/snapshot.h"
+#include "src/telemetry/exposition.h"
+#include "src/telemetry/log_histogram.h"
+#include "src/telemetry/registry.h"
+#include "src/telemetry/trace_ring.h"
 
 namespace dynhist::engine {
 
-/// Monotone counters describing engine activity.
+/// Monotone counters describing engine activity — the global aggregate
+/// from Stats(), or one key's share from Stats(key). The per-key
+/// counters are the source of truth; the aggregate is their sum (max for
+/// max_publish_nanos), so per-key stats sum to the global at any
+/// synchronization point.
 ///
 /// Memory-ordering contract: every counter is incremented with release
 /// ordering and read by Stats() with acquire ordering, so a counter value
@@ -97,9 +105,28 @@ struct EngineStats {
                                         ///< an inline refresh had already
                                         ///< published (merge elided)
 
-  // Publish-latency accounting (merge + swap, excluding queue wait).
+  // Publish-latency accounting. publish_nanos is merge + swap only
+  // (flush, superimpose, reduce, pointer swap, on whichever thread ran
+  // the publication); time a request spent waiting in the publish queue
+  // is accounted separately in queue_wait_nanos — so async publication
+  // end-to-end staleness is queue wait plus publish time, and the two
+  // must not be conflated. queue_wait_nanos requires telemetry
+  // (EngineOptions::enable_telemetry); it stays 0 when disabled.
   std::uint64_t publish_nanos = 0;      ///< total nanoseconds in Publish
   std::uint64_t max_publish_nanos = 0;  ///< slowest single Publish
+  std::uint64_t queue_wait_nanos = 0;   ///< total ns requests sat queued
+
+  /// Per-key: the key's published snapshot epoch (a gauge — epoch 0
+  /// means never published). Global: the sum of per-key epochs, which at
+  /// a synchronization point equals `publishes` (every publication of a
+  /// key advances its epoch by exactly 1) — a cheap cross-counter
+  /// consistency probe for dumps.
+  std::uint64_t snapshot_epoch = 0;
+
+  /// One-line JSON object with every field above, so benches, examples,
+  /// and log lines dump self-describing stats instead of ad-hoc printf
+  /// subsets.
+  std::string ToJson() const;
 };
 
 /// Thread-safe registry of sharded dynamic histograms.
@@ -189,14 +216,66 @@ class HistogramEngine {
   /// buffers; takes shard locks — diagnostic, not a hot-path call).
   double LiveTotalCount(std::string_view key);
 
+  /// Global aggregate across all keys / one key's share (an unknown key
+  /// reports all-zero stats with keys == 0). See the EngineStats
+  /// contract for the consistency model.
   EngineStats Stats() const;
+  EngineStats Stats(std::string_view key) const;
+
+  /// Metrics exposition: everything the engine knows about itself —
+  /// global and per-key counters, staleness/queue-depth gauges, and the
+  /// latency/size distributions — rendered as Prometheus text or JSON
+  /// (see src/telemetry/exposition.h). Thread-safe; scrape-cost only.
+  void WriteMetricsPrometheus(std::string* out) const;
+  void WriteMetricsJson(std::string* out) const;
+
+  /// Dumps the trace ring (publish/merge/flush/reject events) as a
+  /// chrome://tracing JSON document. Empty trace when tracing is off.
+  void WriteTraceJson(std::string* out) const;
+
+  /// The engine's trace ring (diagnostic access; always valid, disabled
+  /// when EngineOptions::trace_capacity is 0 or telemetry is off).
+  const telemetry::TraceRing& trace() const { return trace_; }
+
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// One key's share of the EngineStats counters (see the EngineStats
+  /// ordering contract; these are what Stats() sums).
+  struct KeyCounters {
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> deletes{0};
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> publishes{0};
+    std::atomic<std::uint64_t> async_publishes{0};
+    std::atomic<std::uint64_t> publish_queued{0};
+    std::atomic<std::uint64_t> publish_coalesced{0};
+    std::atomic<std::uint64_t> publish_rejected{0};
+    std::atomic<std::uint64_t> publish_skipped{0};
+    std::atomic<std::uint64_t> publish_nanos{0};
+    std::atomic<std::uint64_t> max_publish_nanos{0};
+    std::atomic<std::uint64_t> queue_wait_nanos{0};
+  };
+
   struct KeyState {
-    explicit KeyState(const EngineOptions& options);
+    KeyState(std::string key_name, const EngineOptions& options,
+             const ShardTelemetry& shard_telemetry);
+
+    /// The key, interned for the registry's lifetime: trace events and
+    /// metric labels reference its storage.
+    const std::string name;
 
     std::vector<std::unique_ptr<EngineShard>> shards;
+
+    KeyCounters counters;
+
+    // Telemetry timestamps (offsets on the engine's trace clock, relaxed
+    // — diagnostic): when this key's queued publish request was
+    // enqueued (at most one is outstanding, so one slot suffices), and
+    // when the key last published (0 = never), which drives the
+    // staleness-seconds gauge.
+    std::atomic<std::uint64_t> enqueued_at_ns{0};
+    std::atomic<std::uint64_t> last_publish_ns{0};
 
     // Updates accepted for this key, and the value of that counter at the
     // last publication — their difference drives auto-publication.
@@ -238,13 +317,31 @@ class HistogramEngine {
   KeyState* FindKey(std::string_view key) const;
   KeyState* FindOrCreateKey(std::string_view key);
 
+  // Registers the key's per-key counter/gauge callbacks with the metrics
+  // registry. Called by the creating thread AFTER registry_mu_ is
+  // released: Collect() runs callbacks under the telemetry mutex, and
+  // holding registry_mu_ across registration would order the two locks
+  // both ways.
+  void RegisterKeyMetrics(KeyState& state);
+
+  // Adds `state`'s counters into `*stats` (acquire loads; max fields
+  // combine by max, snapshot_epoch by sum).
+  static void AccumulateStats(const KeyState& state, EngineStats* stats);
+
+  // Collects registry instruments plus the global-aggregate samples into
+  // one snapshot for the exposition writers.
+  telemetry::MetricsSnapshot CollectMetrics() const;
+
   // Shard routing for `value` — the single definition of the hash-to-shard
   // policy; Insert/Delete and InsertBatch must agree or the per-shard
   // insert-before-delete ordering guarantee breaks.
   static std::size_t ShardIndexFor(const KeyState& state, std::int64_t value);
   EngineShard& ShardFor(KeyState& state, std::int64_t value) const;
 
-  void Update(std::string_view key, const UpdateOp& op);
+  // Pushes one op, bumps the key's update count, and runs the publish
+  // cadence; returns the key's state so the caller can settle the
+  // insert/delete counter after the counted work.
+  KeyState* Update(std::string_view key, const UpdateOp& op);
 
   // After accepting new updates: publish (sync) or enqueue a publish
   // request (async) if the key's cadence says so.
@@ -264,29 +361,40 @@ class HistogramEngine {
 
   // Flush + superimpose + reduce + atomic publish. Returns the snapshot.
   // The second overload runs under an already-held publish lock.
-  EngineSnapshot Publish(KeyState& state);
+  // `trigger` names what drove the publication ("sync", "async",
+  // "refresh", "background") for the trace.
+  EngineSnapshot Publish(KeyState& state, const char* trigger);
   EngineSnapshot Publish(KeyState& state,
-                         std::unique_lock<std::mutex> publish_lock);
+                         std::unique_lock<std::mutex> publish_lock,
+                         const char* trigger);
+
+  // RefreshAll with the trace trigger attributed to the caller.
+  void RefreshAllInternal(const char* trigger);
 
   void BackgroundLoop();
   void MergeWorkerLoop();
 
   const EngineOptions options_;
+  // True when this engine records distributions/traces/queue-wait; the
+  // EngineStats counters are maintained regardless.
+  const bool telemetry_on_;
+
+  // Telemetry instruments. Declared before the key registry so key
+  // states (whose shards hold histogram pointers) never outlive them;
+  // the ring also provides the engine's monotonic ns clock (NowNs).
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TraceRing trace_;
+  telemetry::LogHistogram* publish_latency_hist_;   // ns per publish
+  telemetry::LogHistogram* queue_wait_hist_;        // ns enqueue -> drain
+  telemetry::LogHistogram* ingest_batch_hist_;      // ops per shard drain
+  telemetry::LogHistogram* coalesce_run_hist_;      // dupes per coalesced run
 
   mutable std::shared_mutex registry_mu_;
   std::unordered_map<std::string, std::unique_ptr<KeyState>> registry_;
 
-  mutable std::atomic<std::uint64_t> inserts_{0};
-  mutable std::atomic<std::uint64_t> deletes_{0};
-  mutable std::atomic<std::uint64_t> queries_{0};
-  mutable std::atomic<std::uint64_t> publishes_{0};
-  mutable std::atomic<std::uint64_t> async_publishes_{0};
-  mutable std::atomic<std::uint64_t> publish_queued_{0};
-  mutable std::atomic<std::uint64_t> publish_coalesced_{0};
-  mutable std::atomic<std::uint64_t> publish_rejected_{0};
-  mutable std::atomic<std::uint64_t> publish_skipped_{0};
-  mutable std::atomic<std::uint64_t> publish_nanos_{0};
-  mutable std::atomic<std::uint64_t> max_publish_nanos_{0};
+  // Snapshot()/estimate reads against keys that were never created; the
+  // per-key query counters cover the rest (see Stats()).
+  mutable std::atomic<std::uint64_t> unknown_queries_{0};
 
   // Publish queue (all guarded by queue_mu_ unless noted). Holds raw
   // KeyState pointers: the registry never erases keys, and the destructor

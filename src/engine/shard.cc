@@ -31,9 +31,11 @@ std::unique_ptr<Histogram> MakeShardHistogram(const EngineOptions& options) {
   return nullptr;
 }
 
-EngineShard::EngineShard(const EngineOptions& options)
+EngineShard::EngineShard(const EngineOptions& options,
+                         const ShardTelemetry& telemetry)
     : batch_size_(options.batch_size < 1 ? 1 : options.batch_size),
       coalesce_(options.coalesce_batches),
+      telemetry_(telemetry),
       histogram_(MakeShardHistogram(options)) {
   buffer_.reserve(static_cast<std::size_t>(batch_size_));
 }
@@ -94,6 +96,9 @@ std::size_t EngineShard::BufferedOps() const {
 }
 
 void EngineShard::ApplyLocked(const std::vector<UpdateOp>& batch) {
+  if (telemetry_.batch_ops != nullptr) {
+    telemetry_.batch_ops->Record(batch.size());
+  }
   if (coalesce_ && batch.size() > 1) {
     // Coalesce in batch_size_-bounded chunks: Push-path batches are one
     // chunk; an oversized PushMany/Flush drain is split so the histogram
@@ -157,6 +162,10 @@ void EngineShard::CoalesceAndApply(const std::vector<UpdateOp>& batch,
   std::sort(group_scratch_.begin(), group_scratch_.end(),
             [](const Group& a, const Group& b) { return a.first < b.first; });
   for (const Group& g : group_scratch_) {
+    const std::int64_t run = g.inserts + g.deletes;
+    if (run >= 2 && telemetry_.coalesce_run != nullptr) {
+      telemetry_.coalesce_run->Record(static_cast<std::uint64_t>(run));
+    }
     if (g.inserts > 0) histogram_->InsertN(g.value, g.inserts);
     if (g.deletes > 0) histogram_->DeleteN(g.value, g.deletes);
   }

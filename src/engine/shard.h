@@ -27,16 +27,32 @@
 #include "src/engine/engine_options.h"
 #include "src/histogram/histogram.h"
 #include "src/histogram/model.h"
+#include "src/telemetry/log_histogram.h"
 
 namespace dynhist::engine {
 
 /// Builds the dynamic histogram a shard maintains, per the options.
 std::unique_ptr<Histogram> MakeShardHistogram(const EngineOptions& options);
 
+/// Where a shard records its ingest distributions (engine-owned
+/// log-histograms shared by every shard; null pointers disable the
+/// recording site). Both are batch-granular, so the per-operation cost
+/// is amortized over batch_size.
+struct ShardTelemetry {
+  /// Operations per drained batch (how full batches run in practice).
+  telemetry::LogHistogram* batch_ops = nullptr;
+  /// Run length of each coalesced group that actually collapsed
+  /// duplicates (length >= 2) — the distribution of how much work
+  /// coalescing saves; singleton groups are not recorded (they dominate
+  /// uniform streams and would put a per-op record on the hot path).
+  telemetry::LogHistogram* coalesce_run = nullptr;
+};
+
 /// A mutex-protected dynamic histogram with a batched front buffer.
 class EngineShard {
  public:
-  explicit EngineShard(const EngineOptions& options);
+  explicit EngineShard(const EngineOptions& options,
+                       const ShardTelemetry& telemetry = {});
 
   EngineShard(const EngineShard&) = delete;
   EngineShard& operator=(const EngineShard&) = delete;
@@ -85,6 +101,7 @@ class EngineShard {
 
   const int batch_size_;
   const bool coalesce_;
+  const ShardTelemetry telemetry_;
 
   mutable std::mutex buffer_mu_;
   std::vector<UpdateOp> buffer_;  // guarded by buffer_mu_

@@ -1,0 +1,46 @@
+// Text exposition of a MetricsSnapshot: Prometheus format and JSON.
+//
+// WritePrometheus renders the standard text exposition format scrapers
+// expect — `# HELP` / `# TYPE` headers per family, `name{labels} value`
+// samples, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`. Families are emitted in sorted-name order so the
+// output is deterministic and all series of one family stay grouped
+// (which the format requires). This writer is the seed of the
+// distributed tier's wire format: a scrape of a site's registry is
+// exactly the mergeable summary an aggregator needs.
+//
+// WriteJson renders the same snapshot as one self-describing JSON
+// document (scalar samples plus non-cumulative histogram buckets with
+// explicit lo/hi bounds and summary percentiles) for dashboards and the
+// BENCH_*/METRICS_* artifact trail.
+//
+// SelfCheckPrometheus is a strict-enough validator for CI: it parses the
+// exposition grammar line by line and re-checks the histogram
+// invariants (every sample preceded by a TYPE for its family,
+// cumulative bucket monotonicity, a closing le="+Inf" bucket that
+// matches `_count`). check.sh fails the run when a dump does not pass.
+
+#ifndef DYNHIST_TELEMETRY_EXPOSITION_H_
+#define DYNHIST_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/telemetry/registry.h"
+
+namespace dynhist::telemetry {
+
+/// Appends the Prometheus text exposition of `snapshot` to `*out`.
+void WritePrometheus(const MetricsSnapshot& snapshot, std::string* out);
+
+/// Appends the JSON exposition of `snapshot` to `*out`.
+void WriteJson(const MetricsSnapshot& snapshot, std::string* out);
+
+/// Validates Prometheus exposition text. Returns true when `text`
+/// parses and every histogram invariant holds; otherwise returns false
+/// and, when `error` is non-null, stores a one-line diagnosis.
+bool SelfCheckPrometheus(std::string_view text, std::string* error);
+
+}  // namespace dynhist::telemetry
+
+#endif  // DYNHIST_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,134 @@
+#include "src/telemetry/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace dynhist::telemetry {
+
+LogBucketer LogBucketer::PowersOfTwo() {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(64);
+  for (int i = 0; i < 64; ++i) bounds.push_back(std::uint64_t{1} << i);
+  return LogBucketer(Scheme::kPowersOfTwo, std::move(bounds));
+}
+
+LogBucketer LogBucketer::PerDecade(int per_decade) {
+  DH_CHECK(per_decade >= 1);
+  std::vector<std::uint64_t> bounds;
+  // Walk 10^(j / per_decade) until the next boundary would overflow
+  // uint64 (10^19.26... ~ 1.8e19 < 2^64); rounding collides below one
+  // decade's span, so consecutive duplicates are dropped.
+  const double max_value =
+      static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  for (int j = 0;; ++j) {
+    const double b =
+        std::pow(10.0, static_cast<double>(j) / per_decade);
+    if (b >= max_value) break;
+    const auto bound = static_cast<std::uint64_t>(std::llround(b));
+    if (!bounds.empty() && bound <= bounds.back()) continue;
+    bounds.push_back(bound);
+  }
+  return LogBucketer(Scheme::kGeneric, std::move(bounds));
+}
+
+std::size_t LogBucketer::BucketFor(std::uint64_t value) const {
+  if (scheme_ == Scheme::kPowersOfTwo) {
+    // Buckets <= value are exactly 1, 2, ..., 2^(bit_width-1).
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+  return static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+double LogBucketer::UpperBound(std::size_t i) const {
+  if (i >= bounds_.size()) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(bounds_[i]);
+}
+
+double LogHistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate within the bucket; the open-ended last bucket spans
+    // toward the recorded max instead of infinity.
+    const double lo = static_cast<double>(bucketer.LowerBound(i));
+    double hi = bucketer.UpperBound(i);
+    if (!std::isfinite(hi)) hi = std::max(lo, static_cast<double>(max));
+    const double frac = counts[i] == 0
+                            ? 0.0
+                            : (rank - static_cast<double>(before)) /
+                                  static_cast<double>(counts[i]);
+    // Clamp to the recorded max: no quantile of the data can exceed it,
+    // and the top bucket's upper bound usually does.
+    return std::min(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0),
+                    static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+LogHistogram::LogHistogram(LogBucketer bucketer)
+    : bucketer_(std::move(bucketer)),
+      counts_(new std::atomic<std::uint64_t>[bucketer_.bucket_count()]) {
+  for (std::size_t i = 0; i < bucketer_.bucket_count(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+#if DYNHIST_TELEMETRY
+void LogHistogram::Record(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  counts_[bucketer_.BucketFor(value)].fetch_add(n,
+                                                std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(value * n, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value && !max_.compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+#endif
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  Merge(other.Snapshot());
+}
+
+void LogHistogram::Merge(const LogHistogramSnapshot& other) {
+  DH_CHECK(bucketer_ == other.bucketer);
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    if (other.counts[i] != 0) {
+      counts_[i].fetch_add(other.counts[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < other.max && !max_.compare_exchange_weak(
+                                 prev, other.max,
+                                 std::memory_order_relaxed)) {
+  }
+}
+
+LogHistogramSnapshot LogHistogram::Snapshot() const {
+  LogHistogramSnapshot snapshot;
+  snapshot.bucketer = bucketer_;
+  snapshot.counts.resize(bucketer_.bucket_count());
+  for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+    snapshot.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+}  // namespace dynhist::telemetry

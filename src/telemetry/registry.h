@@ -1,0 +1,156 @@
+// Lock-light metrics registry: named counters, gauges, and log-bucketed
+// histograms with stable handles.
+//
+// Registration (cold, engine-construction / key-creation time) takes the
+// registry mutex and hands back a pointer into registry-owned storage
+// that stays valid for the registry's lifetime. The hot path then
+// touches only that handle — one relaxed atomic RMW for a counter
+// increment, a handful for a histogram Record — and never the mutex.
+// Collect() (cold: an exposition scrape) takes the mutex, reads every
+// instrument, and materializes a plain MetricsSnapshot for the writers
+// in exposition.h.
+//
+// Callback metrics cover derived values that are cheaper to compute at
+// scrape time than to maintain — queue depth, snapshot staleness, a
+// per-key atomic someone else owns. The callback runs under the
+// registry mutex during Collect(), so it must not re-enter the registry
+// and should only read (typically a few atomics).
+
+#ifndef DYNHIST_TELEMETRY_REGISTRY_H_
+#define DYNHIST_TELEMETRY_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/telemetry/log_histogram.h"
+
+namespace dynhist::telemetry {
+
+/// Metric labels, e.g. {{"key", "orders.amount"}}. Order is preserved
+/// into the exposition output.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge };
+
+/// A monotone counter. Wait-free; values expose as doubles.
+class Counter {
+ public:
+#if DYNHIST_TELEMETRY
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+#else
+  void Increment(std::uint64_t = 1) {}
+#endif
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A settable instantaneous value.
+class Gauge {
+ public:
+#if DYNHIST_TELEMETRY
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+#else
+  void Set(double) {}
+#endif
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// One scalar sample in a collected snapshot.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  Labels labels;
+  double value = 0.0;
+};
+
+/// One histogram in a collected snapshot.
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  LogHistogramSnapshot snapshot;
+};
+
+/// Everything a scrape saw, as plain values. Samples appear in
+/// registration order; the exposition writers group them by family.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Thread-safe instrument registry; see file comment for the locking
+/// story. Metric names must match Prometheus conventions
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*, checked) — one family name may be
+/// registered many times with different labels.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(std::string name, std::string help,
+                      Labels labels = {});
+  Gauge* AddGauge(std::string name, std::string help, Labels labels = {});
+
+  /// A metric whose value is computed at scrape time by `read` (which
+  /// runs under the registry mutex — keep it to a few atomic loads).
+  void AddCallback(std::string name, std::string help, MetricKind kind,
+                   Labels labels, std::function<double()> read);
+
+  LogHistogram* AddHistogram(std::string name, std::string help,
+                             LogBucketer bucketer, Labels labels = {});
+
+  MetricsSnapshot Collect() const;
+
+ private:
+  // Instruments hold atomics (immovable), so they are constructed in
+  // place inside the deques via this constructor.
+  template <typename T>
+  struct Instrument {
+    template <typename... Args>
+    Instrument(std::string n, std::string h, Labels l, Args&&... args)
+        : name(std::move(n)),
+          help(std::move(h)),
+          labels(std::move(l)),
+          instrument(std::forward<Args>(args)...) {}
+
+    std::string name;
+    std::string help;
+    Labels labels;
+    T instrument;
+  };
+  struct CallbackMetric {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    Labels labels;
+    std::function<double()> read;
+  };
+
+  mutable std::mutex mu_;
+  // Deques: handles are pointers into these, so storage must not move.
+  std::deque<Instrument<Counter>> counters_;
+  std::deque<Instrument<Gauge>> gauges_;
+  std::deque<Instrument<LogHistogram>> histograms_;
+  std::deque<CallbackMetric> callbacks_;
+};
+
+}  // namespace dynhist::telemetry
+
+#endif  // DYNHIST_TELEMETRY_REGISTRY_H_
