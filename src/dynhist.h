@@ -23,6 +23,7 @@
 #include "src/data/update_stream.h"        // IWYU pragma: export
 #include "src/histogram/approximate_compressed.h"  // IWYU pragma: export
 #include "src/histogram/budget.h"          // IWYU pragma: export
+#include "src/histogram/compiled_snapshot.h"       // IWYU pragma: export
 #include "src/histogram/deviation.h"       // IWYU pragma: export
 #include "src/histogram/driver.h"          // IWYU pragma: export
 #include "src/histogram/dynamic_compressed.h"      // IWYU pragma: export

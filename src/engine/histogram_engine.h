@@ -93,6 +93,12 @@ struct EngineStats {
   std::uint64_t inserts = 0;     ///< Insert() calls accepted
   std::uint64_t deletes = 0;     ///< Delete() calls accepted
   std::uint64_t queries = 0;     ///< estimate / snapshot reads served
+  std::uint64_t fallback_queries = 0;  ///< estimate reads that walked model
+                                       ///< pieces because the published
+                                       ///< snapshot had no compiled arena
+                                       ///< (compile_snapshots off); the
+                                       ///< compiled-path share is
+                                       ///< queries - fallback_queries
   std::uint64_t publishes = 0;   ///< snapshot publications across all keys
 
   // Async publish pipeline (zero in purely synchronous engines).
@@ -207,7 +213,10 @@ class HistogramEngine {
   std::size_t BufferedOps(std::string_view key) const;
 
   /// Estimated tuples under `key` with lo <= A <= hi / with A = v, read
-  /// from the last published snapshot.
+  /// from the last published snapshot. Lock-free and allocation-free:
+  /// routed through the snapshot's compiled prefix-CDF arena when one was
+  /// built at publish time (EngineOptions::compile_snapshots, default),
+  /// through the piece-walk model otherwise — answers are bit-identical.
   double EstimateRange(std::string_view key, std::int64_t lo,
                        std::int64_t hi) const;
   double EstimateEquals(std::string_view key, std::int64_t v) const;
@@ -246,6 +255,7 @@ class HistogramEngine {
     std::atomic<std::uint64_t> inserts{0};
     std::atomic<std::uint64_t> deletes{0};
     std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> fallback_queries{0};
     std::atomic<std::uint64_t> publishes{0};
     std::atomic<std::uint64_t> async_publishes{0};
     std::atomic<std::uint64_t> publish_queued{0};
@@ -289,6 +299,7 @@ class HistogramEngine {
     std::atomic<std::int64_t> merged_buckets;
     std::atomic<bool> legacy_reduce;
     std::atomic<bool> async_publish;
+    std::atomic<bool> compile_snapshots;
 
     // Async publish state: `publish_pending` is true while a request for
     // this key sits in the queue — further cadence trips coalesce into it
@@ -337,6 +348,15 @@ class HistogramEngine {
   // insert-before-delete ordering guarantee breaks.
   static std::size_t ShardIndexFor(const KeyState& state, std::int64_t value);
   EngineShard& ShardFor(KeyState& state, std::int64_t value) const;
+
+  // Shared body of EstimateRange/EstimateEquals (equality is the
+  // single-value range): one lock-free published-model load, routed
+  // through the compiled arena when attached, fallback queries counted,
+  // and every 1024th query of a key latency-sampled into
+  // query_latency_hist_ (batch-granularity discipline: the other 1023
+  // pay no clock read).
+  double EstimateImpl(std::string_view key, std::int64_t lo,
+                      std::int64_t hi) const;
 
   // Pushes one op, bumps the key's update count, and runs the publish
   // cadence; returns the key's state so the caller can settle the
@@ -388,9 +408,21 @@ class HistogramEngine {
   telemetry::LogHistogram* queue_wait_hist_;        // ns enqueue -> drain
   telemetry::LogHistogram* ingest_batch_hist_;      // ops per shard drain
   telemetry::LogHistogram* coalesce_run_hist_;      // dupes per coalesced run
+  telemetry::LogHistogram* query_latency_hist_;     // ns per sampled estimate
 
+  // Heterogeneous (string_view) lookup keeps the per-query FindKey free
+  // of temporary std::string construction — the read path's only
+  // remaining allocation risk for keys beyond the SSO limit.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
   mutable std::shared_mutex registry_mu_;
-  std::unordered_map<std::string, std::unique_ptr<KeyState>> registry_;
+  std::unordered_map<std::string, std::unique_ptr<KeyState>, StringHash,
+                     std::equal_to<>>
+      registry_;
 
   // Snapshot()/estimate reads against keys that were never created; the
   // per-key query counters cover the rest (see Stats()).

@@ -1,11 +1,20 @@
 // Immutable engine snapshots: the read side of the concurrent engine.
 //
-// A snapshot is a HistogramModel plus the epoch at which it was published.
-// The engine publishes snapshots by atomically swapping a shared_ptr, so a
-// reader's EngineSnapshot is a stable view: it stays valid and unchanged
-// for as long as the reader holds it, no matter how many updates or newer
-// publications happen concurrently. All estimation goes through the same
-// SelectivityEstimator front end single-threaded code uses.
+// A snapshot is a HistogramModel plus the epoch at which it was published
+// — and, when the engine compiled it (EngineOptions::compile_snapshots,
+// the default), the model's CompiledSnapshot arena: contiguous border /
+// prefix-CDF arrays that answer EstimateRange with two branch-free
+// lower_bound lookups instead of a piece-list walk. The engine publishes
+// snapshots by atomically swapping a shared_ptr, so a reader's
+// EngineSnapshot is a stable view: it stays valid and unchanged for as
+// long as the reader holds it, no matter how many updates or newer
+// publications happen concurrently.
+//
+// Estimation here touches no locks and allocates nothing on either path:
+// compiled queries read the arena, and the fallback (compilation off, or
+// the implicit epoch-0 empty snapshot) calls the model's estimators
+// directly — there is no per-call estimator object to construct. The two
+// paths are bit-identical by the CompiledSnapshot parity contract.
 
 #ifndef DYNHIST_ENGINE_SNAPSHOT_H_
 #define DYNHIST_ENGINE_SNAPSHOT_H_
@@ -14,7 +23,7 @@
 #include <memory>
 #include <utility>
 
-#include "src/estimate/selectivity.h"
+#include "src/histogram/compiled_snapshot.h"
 #include "src/histogram/model.h"
 
 namespace dynhist::engine {
@@ -31,6 +40,12 @@ struct VersionedModel {
   /// prefix a snapshot reflects; coalesced publish requests all land in
   /// one publication whose watermark is the newest of them.
   std::uint64_t watermark = 0;
+
+  /// The model compiled to its flat prefix-CDF arena at publish time.
+  /// Absent (attached() == false) when the publishing engine had
+  /// compile_snapshots off and for the implicit epoch-0 snapshot;
+  /// queries then walk the model's pieces.
+  CompiledSnapshot compiled;
 };
 
 /// Shared, immutable view of one key's histogram at a publication epoch.
@@ -52,28 +67,43 @@ class EngineSnapshot {
   /// The underlying immutable model.
   const HistogramModel& model() const { return state_->model; }
 
+  /// The flat query arena compiled at publish time, or nullptr when this
+  /// snapshot was published without compilation (or is the empty epoch-0
+  /// view). Exposed for the parity tests and as the distributed tier's
+  /// zero-copy wire payload.
+  const CompiledSnapshot* compiled() const {
+    return state_->compiled.attached() ? &state_->compiled : nullptr;
+  }
+
   /// Total mass the snapshot believes the key holds.
   double TotalCount() const { return state_->model.TotalCount(); }
 
   /// Estimated number of tuples with lo <= A <= hi.
   double EstimateRange(std::int64_t lo, std::int64_t hi) const {
-    return SelectivityEstimator(state_->model).CardinalityRange(lo, hi);
+    const VersionedModel& s = *state_;
+    return s.compiled.attached() ? s.compiled.EstimateRange(lo, hi)
+                                 : s.model.EstimateRange(lo, hi);
   }
 
   /// Estimated number of tuples with A = v.
   double EstimateEquals(std::int64_t v) const {
-    return SelectivityEstimator(state_->model).CardinalityEquals(v);
+    return EstimateRange(v, v);
   }
 
   /// The above as result fractions of the relation.
   double SelectivityRange(std::int64_t lo, std::int64_t hi) const {
-    return SelectivityEstimator(state_->model).SelectivityRange(lo, hi);
+    return Fraction(EstimateRange(lo, hi));
   }
   double SelectivityEquals(std::int64_t v) const {
-    return SelectivityEstimator(state_->model).SelectivityEquals(v);
+    return Fraction(EstimateRange(v, v));
   }
 
  private:
+  double Fraction(double cardinality) const {
+    const double total = state_->model.TotalCount();
+    return total > 0.0 ? cardinality / total : 0.0;
+  }
+
   std::shared_ptr<const VersionedModel> state_;
 };
 

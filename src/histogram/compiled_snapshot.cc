@@ -1,0 +1,227 @@
+#include "src/histogram/compiled_snapshot.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "src/common/check.h"
+
+namespace dynhist {
+namespace compiled_internal {
+
+std::size_t UpperBoundScalar(const double* a, std::size_t n, double x) {
+  const double* base = a;
+  std::size_t len = n;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    // The bool-to-size_t multiply forces a flagless update (cmov/lea), so
+    // the loop never takes a data-dependent branch.
+    base += static_cast<std::size_t>(base[half - 1] <= x) * half;
+    len -= half;
+  }
+  return static_cast<std::size_t>(base - a) +
+         static_cast<std::size_t>(*base <= x);
+}
+
+void UpperBound2Scalar(const double* a, std::size_t n, double x1, double x2,
+                       std::size_t* i1, std::size_t* i2) {
+  // Both searches share the same halving schedule, so one loop advances
+  // two independent base pointers: the two cache-miss/latency chains
+  // overlap instead of running back to back.
+  const double* b1 = a;
+  const double* b2 = a;
+  std::size_t len = n;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    b1 += static_cast<std::size_t>(b1[half - 1] <= x1) * half;
+    b2 += static_cast<std::size_t>(b2[half - 1] <= x2) * half;
+    len -= half;
+  }
+  *i1 = static_cast<std::size_t>(b1 - a) +
+        static_cast<std::size_t>(*b1 <= x1);
+  *i2 = static_cast<std::size_t>(b2 - a) +
+        static_cast<std::size_t>(*b2 <= x2);
+}
+
+namespace {
+
+// Resolved once per process: use the AVX2 search when it was compiled in
+// and the CPU reports support. The per-call cost is one well-predicted
+// branch on this constant.
+#if DYNHIST_HAVE_AVX2 && defined(__x86_64__) && defined(__GNUC__)
+const bool kUseAvx2 = __builtin_cpu_supports("avx2") != 0;
+#else
+constexpr bool kUseAvx2 = false;
+#endif
+
+}  // namespace
+
+std::size_t UpperBound(const double* a, std::size_t n, double x) {
+#if DYNHIST_HAVE_AVX2
+  if (kUseAvx2) return UpperBoundAvx2(a, n, x);
+#endif
+  return UpperBoundScalar(a, n, x);
+}
+
+void UpperBound2(const double* a, std::size_t n, double x1, double x2,
+                 std::size_t* i1, std::size_t* i2) {
+#if DYNHIST_HAVE_AVX2
+  if (kUseAvx2) {
+    UpperBound2Avx2(a, n, x1, x2, i1, i2);
+    return;
+  }
+#endif
+  UpperBound2Scalar(a, n, x1, x2, i1, i2);
+}
+
+bool SimdActive() { return kUseAvx2; }
+
+}  // namespace compiled_internal
+
+namespace {
+
+constexpr std::size_t kLine = 64;  // cache-line alignment of the arena
+
+// Doubles reserved for the rights array so the row block starts on its
+// own cache line.
+std::size_t RightsSpan(std::size_t n) {
+  return (n + 7) & ~std::size_t{7};
+}
+
+std::size_t ArenaBytes(std::size_t n) {
+  const std::size_t doubles =
+      RightsSpan(n) + (n + 1) * (sizeof(CompiledSnapshot::Row) / sizeof(double));
+  return (doubles * sizeof(double) + kLine - 1) & ~(kLine - 1);
+}
+
+}  // namespace
+
+CompiledSnapshot::~CompiledSnapshot() { Reset(); }
+
+void CompiledSnapshot::Reset() {
+  std::free(storage_);
+  storage_ = nullptr;
+  rights_ = nullptr;
+  rows_ = nullptr;
+  n_ = 0;
+  total_ = 0.0;
+  attached_ = false;
+}
+
+CompiledSnapshot::CompiledSnapshot(CompiledSnapshot&& other) noexcept
+    : storage_(other.storage_),
+      rights_(other.rights_),
+      rows_(other.rows_),
+      n_(other.n_),
+      total_(other.total_),
+      attached_(other.attached_) {
+  other.storage_ = nullptr;
+  other.rights_ = nullptr;
+  other.rows_ = nullptr;
+  other.n_ = 0;
+  other.total_ = 0.0;
+  other.attached_ = false;
+}
+
+CompiledSnapshot& CompiledSnapshot::operator=(
+    CompiledSnapshot&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    storage_ = other.storage_;
+    rights_ = other.rights_;
+    rows_ = other.rows_;
+    n_ = other.n_;
+    total_ = other.total_;
+    attached_ = other.attached_;
+    other.storage_ = nullptr;
+    other.rights_ = nullptr;
+    other.rows_ = nullptr;
+    other.n_ = 0;
+    other.total_ = 0.0;
+    other.attached_ = false;
+  }
+  return *this;
+}
+
+CompiledSnapshot::CompiledSnapshot(const CompiledSnapshot& other)
+    : n_(other.n_), total_(other.total_), attached_(other.attached_) {
+  if (other.storage_ == nullptr) return;
+  const std::size_t bytes = ArenaBytes(n_);
+  storage_ = std::aligned_alloc(kLine, bytes);
+  DH_CHECK(storage_ != nullptr);
+  std::memcpy(storage_, other.storage_, bytes);
+  auto* base = static_cast<double*>(storage_);
+  rights_ = base;
+  rows_ = reinterpret_cast<const Row*>(base + RightsSpan(n_));
+}
+
+CompiledSnapshot& CompiledSnapshot::operator=(const CompiledSnapshot& other) {
+  if (this != &other) *this = CompiledSnapshot(other);
+  return *this;
+}
+
+CompiledSnapshot CompiledSnapshot::Compile(const HistogramModel& model) {
+  CompiledSnapshot c;
+  const std::vector<HistogramModel::Piece>& pieces = model.pieces();
+  const std::size_t n = pieces.size();
+  const std::size_t bytes = ArenaBytes(n);
+  c.storage_ = std::aligned_alloc(kLine, bytes);
+  DH_CHECK(c.storage_ != nullptr);
+  std::memset(c.storage_, 0, bytes);
+  auto* base = static_cast<double*>(c.storage_);
+  double* rights = base;
+  Row* rows = reinterpret_cast<Row*>(base + RightsSpan(n));
+
+  // Prefix masses accumulate in piece order — the same summation the
+  // model's constructor performs — so prefix and total are bit-identical
+  // to the piece-walk path's.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const HistogramModel::Piece& p = pieces[i];
+    rights[i] = p.right;
+    rows[i] = Row{p.left, p.count, p.right - p.left, acc};
+    acc += p.count;
+  }
+  // Sentinel: lookups past the last border read total mass with zero
+  // in-piece contribution (count 0 over a nonzero width).
+  rows[n] = Row{n > 0 ? pieces[n - 1].right : 0.0, 0.0, 1.0, acc};
+
+  c.rights_ = rights;
+  c.rows_ = rows;
+  c.n_ = n;
+  c.total_ = acc;
+  c.attached_ = true;
+  return c;
+}
+
+double CompiledSnapshot::CdfMass(double x) const {
+  if (n_ == 0) return 0.0;  // absent or empty support
+  const std::size_t i = compiled_internal::UpperBound(rights_, n_, x);
+  const Row& r = rows_[i];
+  // max() clamps the before-this-piece case (x <= left, including gaps
+  // between pieces) to the bare prefix without a branch; inside a piece
+  // the interpolation is the model's exact expression.
+  const double in_piece = std::max(x - r.left, 0.0);
+  return r.prefix + r.count * in_piece / r.width;
+}
+
+double CompiledSnapshot::MassInRealRange(double lo, double hi) const {
+  if (n_ == 0) return 0.0;
+  std::size_t ilo, ihi;
+  compiled_internal::UpperBound2(rights_, n_, lo, hi, &ilo, &ihi);
+  const Row& rl = rows_[ilo];
+  const Row& rh = rows_[ihi];
+  const double mlo = rl.prefix + rl.count * std::max(lo - rl.left, 0.0) / rl.width;
+  const double mhi = rh.prefix + rh.count * std::max(hi - rh.left, 0.0) / rh.width;
+  return mhi - mlo;
+}
+
+double CompiledSnapshot::EstimateRange(std::int64_t lo, std::int64_t hi) const {
+  if (hi < lo) return 0.0;
+  // Integer value v occupies [v, v+1), so [lo, hi] covers [lo, hi+1).
+  return MassInRealRange(static_cast<double>(lo),
+                         static_cast<double>(hi) + 1.0);
+}
+
+}  // namespace dynhist

@@ -91,6 +91,8 @@ TEST(EngineTelemetryTest, PerKeyStatsSumToGlobalUnderConcurrency) {
             static_cast<std::uint64_t>(kWriters) * kOpsPerWriter);
   EXPECT_EQ(global.deletes, hot.deletes + cold.deletes);
   EXPECT_EQ(global.queries, hot.queries + cold.queries);
+  EXPECT_EQ(global.fallback_queries,
+            hot.fallback_queries + cold.fallback_queries);
   EXPECT_EQ(global.publishes, hot.publishes + cold.publishes);
   EXPECT_EQ(global.async_publishes,
             hot.async_publishes + cold.async_publishes);
@@ -244,6 +246,62 @@ TEST(EngineTelemetryTest, DisabledTelemetryStillCountsStats) {
   std::string trace_json;
   engine.WriteTraceJson(&trace_json);
   EXPECT_NE(trace_json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(EngineTelemetryTest, QueryLatencyIsSampledEveryKth) {
+  // Estimate reads sample the latency distribution every 1024th query per
+  // key, first query included: N queries => floor((N - 1) / 1024) + 1
+  // samples. Deterministic because nothing else feeds the histogram.
+  EngineOptions options = ManualOptions();
+  HistogramEngine engine(options);
+  for (int i = 0; i < 32; ++i) engine.Insert("k", i % 8);
+  engine.RefreshSnapshot("k");  // Snapshot reads don't sample; queries do
+
+  const int kQueries = 3 * 1024 + 5;
+  for (int q = 0; q < kQueries; ++q) engine.EstimateRange("k", 0, 7);
+  const std::string text = Prometheus(engine);
+  // RefreshSnapshot didn't bump the query counter, so sampled reads are
+  // those at query numbers 0, 1024, 2048, 3072.
+  EXPECT_EQ(MetricValue(text, "dynhist_query_latency_ns_count"), 4.0);
+  EXPECT_GT(MetricValue(text, "dynhist_query_latency_ns_sum"), 0.0);
+}
+
+TEST(EngineTelemetryTest, FallbackQueriesExposedPerKeyAndGlobally) {
+  EngineOptions options = ManualOptions();
+  options.compile_snapshots = false;
+  HistogramEngine engine(options);
+  for (int i = 0; i < 16; ++i) engine.Insert("walk", i);
+  engine.RefreshSnapshot("walk");
+  for (int q = 0; q < 7; ++q) engine.EstimateEquals("walk", 3);
+
+  const std::string text = Prometheus(engine);
+  EXPECT_NE(text.find("dynhist_key_fallback_queries_total{key=\"walk\"} 7"),
+            std::string::npos);
+  EXPECT_EQ(MetricValue(text, "dynhist_engine_fallback_queries_total"), 7.0);
+  EXPECT_NE(engine.Stats("walk").ToJson().find("\"fallback_queries\":7"),
+            std::string::npos);
+
+  // Flip compilation on for the key: the next publication serves from the
+  // arena and the fallback counter freezes.
+  KeyOptionOverrides o;
+  o.compile_snapshots = true;
+  engine.SetKeyOptions("walk", o);
+  engine.RefreshSnapshot("walk");
+  for (int q = 0; q < 5; ++q) engine.EstimateEquals("walk", 3);
+  EXPECT_EQ(engine.Stats("walk").fallback_queries, 7u);
+  EXPECT_EQ(engine.Stats("walk").queries, 12u);
+}
+
+TEST(EngineTelemetryTest, DisabledTelemetrySkipsQueryLatencySampling) {
+  EngineOptions options = ManualOptions();
+  options.enable_telemetry = false;
+  HistogramEngine engine(options);
+  for (int i = 0; i < 16; ++i) engine.Insert("k", i);
+  engine.RefreshSnapshot("k");
+  for (int q = 0; q < 2000; ++q) engine.EstimateRange("k", 0, 15);
+  const std::string text = Prometheus(engine);
+  EXPECT_EQ(MetricValue(text, "dynhist_query_latency_ns_count"), 0.0);
+  EXPECT_EQ(engine.Stats("k").queries, 2000u);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -298,6 +299,119 @@ TEST(HistogramEngineTest, BackgroundThreadPublishesWithoutManualRefresh) {
   const EngineSnapshot snapshot = engine.Snapshot(kKey);
   EXPECT_GE(snapshot.epoch(), 1u);
   EXPECT_NEAR(snapshot.TotalCount(), 2'000.0, 1.0);
+}
+
+TEST(HistogramEngineTest, PublishAttachesCompiledSnapshot) {
+  HistogramEngine engine(TestOptions());  // compile_snapshots defaults on
+  EXPECT_EQ(engine.Snapshot(kKey).compiled(), nullptr);  // epoch-0: absent
+  for (const std::int64_t v : ZipfValues(5'000, 21)) engine.Insert(kKey, v);
+  const EngineSnapshot snapshot = engine.RefreshSnapshot(kKey);
+  const CompiledSnapshot* compiled = snapshot.compiled();
+  ASSERT_NE(compiled, nullptr);
+  EXPECT_EQ(compiled->NumPieces(), snapshot.model().pieces().size());
+  EXPECT_EQ(compiled->TotalCount(), snapshot.model().TotalCount());
+  // Bit-exact parity between the snapshot's two query paths.
+  for (std::int64_t lo = 0; lo < kDomain; lo += 37) {
+    const std::int64_t hi = std::min<std::int64_t>(kDomain - 1, lo + 113);
+    EXPECT_EQ(compiled->EstimateRange(lo, hi),
+              snapshot.model().EstimateRange(lo, hi));
+    EXPECT_EQ(snapshot.EstimateRange(lo, hi),
+              snapshot.model().EstimateRange(lo, hi));
+  }
+}
+
+TEST(HistogramEngineTest, CompilationOffFallsBackToPieceWalkWithParity) {
+  EngineOptions off = TestOptions();
+  off.compile_snapshots = false;
+  HistogramEngine walk(off);
+  HistogramEngine fast(TestOptions());
+  for (const std::int64_t v : ZipfValues(5'000, 22)) {
+    walk.Insert(kKey, v);
+    fast.Insert(kKey, v);
+  }
+  const EngineSnapshot walk_snap = walk.RefreshSnapshot(kKey);
+  const EngineSnapshot fast_snap = fast.RefreshSnapshot(kKey);
+  EXPECT_EQ(walk_snap.compiled(), nullptr);
+  ASSERT_NE(fast_snap.compiled(), nullptr);
+  ASSERT_TRUE(
+      testing::ModelsBitIdentical(walk_snap.model(), fast_snap.model()));
+  for (std::int64_t lo = 0; lo < kDomain; lo += 41) {
+    const std::int64_t hi = std::min<std::int64_t>(kDomain - 1, lo + 250);
+    EXPECT_EQ(walk.EstimateRange(kKey, lo, hi),
+              fast.EstimateRange(kKey, lo, hi));
+  }
+  // The piece-walk engine counted its queries as fallbacks; the compiled
+  // engine served every one from the arena.
+  EXPECT_GT(walk.Stats(kKey).fallback_queries, 0u);
+  EXPECT_EQ(walk.Stats(kKey).fallback_queries, walk.Stats(kKey).queries);
+  EXPECT_EQ(fast.Stats(kKey).fallback_queries, 0u);
+}
+
+TEST(HistogramEngineTest, PerKeyCompileOverrideTakesEffectNextPublish) {
+  HistogramEngine engine(TestOptions());
+  KeyOptionOverrides o;
+  o.compile_snapshots = false;
+  engine.SetKeyOptions(kKey, o);
+  EXPECT_FALSE(engine.EffectiveOptions(kKey).compile_snapshots);
+  for (const std::int64_t v : ZipfValues(2'000, 23)) engine.Insert(kKey, v);
+  EXPECT_EQ(engine.RefreshSnapshot(kKey).compiled(), nullptr);
+  o.compile_snapshots = true;
+  engine.SetKeyOptions(kKey, o);
+  EXPECT_NE(engine.RefreshSnapshot(kKey).compiled(), nullptr);
+}
+
+TEST(HistogramEngineTest, CompiledQueriesSeePublishedEpochsLockFree) {
+  // Writers publish continuously while readers hammer EstimateRange; every
+  // read must be internally consistent (mass within the published range's
+  // total) and the epoch sequence observed by a reader must be monotone.
+  EngineOptions options = TestOptions();
+  options.snapshot_every = 500;
+  HistogramEngine engine(options);
+  for (const std::int64_t v : ZipfValues(1'000, 24)) engine.Insert(kKey, v);
+  engine.RefreshSnapshot(kKey);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::thread writer([&] {
+    for (const std::int64_t v : ZipfValues(30'000, 25)) {
+      engine.Insert(kKey, v);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  std::atomic<bool> ok{true};
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(static_cast<std::uint64_t>(r) + 100);
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EngineSnapshot snap = engine.Snapshot(kKey);
+        if (snap.epoch() < last_epoch) ok.store(false);
+        last_epoch = snap.epoch();
+        if (snap.epoch() > 0 && snap.compiled() == nullptr) {
+          ok.store(false);  // every publication must carry its arena
+        }
+        const std::int64_t lo = rng.UniformInt(0, kDomain - 1);
+        const std::int64_t hi =
+            std::min<std::int64_t>(kDomain - 1, lo + 200);
+        const double est = engine.EstimateRange(kKey, lo, hi);
+        if (!(est >= 0.0) || est > snap.TotalCount() + 31'500.0) {
+          ok.store(false);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(reads.load(), 0u);
+  // With compilation on, none of those estimate reads fell back.
+  EXPECT_EQ(engine.Stats(kKey).fallback_queries, 0u);
+  const EngineSnapshot final_snap = engine.RefreshSnapshot(kKey);
+  ASSERT_NE(final_snap.compiled(), nullptr);
+  EXPECT_EQ(final_snap.compiled()->TotalCount(),
+            final_snap.model().TotalCount());
 }
 
 }  // namespace
