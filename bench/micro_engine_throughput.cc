@@ -40,6 +40,19 @@
 // clock's own overhead) and the batch distribution yields the query p99.
 // The phase FAILS the run if the arena is not >= 5x the piece-walk
 // engine baseline — the PR-7 acceptance gate.
+//
+// A seventh phase gates the epoch-pinned reader fast path: the same
+// published snapshot queried by 1/2/4 reader threads through three
+// mechanisms — the string-keyed front door (registry find + shared_ptr
+// acquire per call, the PR-7 cost), a resolved KeyHandle driving
+// EstimateRangeBatch in spans of 64 (the thread-local lease cache), and
+// the raw arena on a held snapshot (the floor). The phase FAILS the run
+// if the single-reader cached-handle rate is not >= 0.85x the raw arena
+// or >= 3x the string-keyed path, or if the per-key lease-miss counter
+// disagrees with the publications-observed accounting (each reader
+// thread must re-acquire the shared_ptr exactly once for the one
+// publication it can observe — the steady state performs no refcount
+// traffic at all). These are the PR-8 acceptance gates.
 
 #include <algorithm>
 #include <chrono>
@@ -249,6 +262,30 @@ double MeasurePlannedQueries(const QueryPlan& plan,
   if (sink < 0.0) std::printf("# sink %f\n", sink);  // defeat elision
   if (p99_ns != nullptr) *p99_ns = PercentileNs(batch_query_ns, 0.99);
   return static_cast<double>(batches * kBatch) / (total_ns / 1e9);
+}
+
+/// Runs `reader` (a per-thread functor returning its accumulated sink)
+/// on `threads` fresh threads, each issuing `queries_per_thread`
+/// estimates; returns aggregate queries per second. Threads are spawned
+/// per call so every run starts with a cold thread-local lease cache —
+/// the handle series pays its one re-acquire per thread inside the
+/// timed region, same as a freshly connected reader would.
+template <typename ReaderFn>
+double MeasureReaderThreads(int threads, std::int64_t queries_per_thread,
+                            const ReaderFn& reader) {
+  std::vector<double> sinks(static_cast<std::size_t>(threads), 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    readers.emplace_back(
+        [&, t] { sinks[static_cast<std::size_t>(t)] = reader(); });
+  }
+  for (std::thread& r : readers) r.join();
+  const double seconds = SecondsSince(start);
+  if (sinks[0] < 0.0) std::printf("# sink %f\n", sinks[0]);
+  return static_cast<double>(queries_per_thread) *
+         static_cast<double>(threads) / seconds;
 }
 
 }  // namespace
@@ -506,6 +543,134 @@ int main(int argc, char** argv) {
     query_gate_ok = false;
   }
 
+  // Epoch-pinned reader fast path: the same published snapshot queried
+  // through the string-keyed front door, through a resolved KeyHandle in
+  // EstimateRangeBatch spans of 64 (one lease revalidation and one
+  // counter settle per span), and against the held snapshot's arena (the
+  // floor the lease path chases). Single-reader numbers are best-of-3
+  // interleaved and gated; 2- and 4-reader runs extend each series to
+  // show the scaling shape (on this 1-core container that is timeslicing,
+  // not parallelism — the interesting signal is that the handle path does
+  // not degrade, having no shared cache line to bounce).
+  constexpr std::size_t kSpan = 64;
+  std::vector<engine::RangeQuery> spans(plan.lo.size());
+  for (std::size_t q = 0; q < plan.lo.size(); ++q) {
+    spans[q] = {plan.lo[q], plan.hi[q]};
+  }
+  const engine::KeyHandle handle = engine.Resolve(kKey);
+  const std::int64_t span_queries =
+      static_cast<std::int64_t>(spans.size() / kSpan * kSpan);
+  int handle_reader_threads = 0;  // drives the lease-accounting gate
+  const auto string_reader = [&] {
+    double sink = 0.0;
+    for (std::size_t q = 0; q < static_cast<std::size_t>(span_queries);
+         ++q) {
+      sink += engine.EstimateRange(kKey, plan.lo[q], plan.hi[q]);
+    }
+    return sink;
+  };
+  const auto handle_reader = [&] {
+    double sink = 0.0;
+    double out[kSpan];
+    for (std::size_t base = 0; base + kSpan <= spans.size();
+         base += kSpan) {
+      engine.EstimateRangeBatch(handle, spans.data() + base, kSpan, out);
+      for (std::size_t i = 0; i < kSpan; ++i) sink += out[i];
+    }
+    return sink;
+  };
+  const auto arena_reader = [&] {
+    double sink = 0.0;
+    for (std::size_t q = 0; q < static_cast<std::size_t>(span_queries);
+         ++q) {
+      sink += held.EstimateRange(plan.lo[q], plan.hi[q]);
+    }
+    return sink;
+  };
+  const std::uint64_t lease_misses_before = engine.Stats(handle).lease_misses;
+  double string_qps1 = 0.0, handle_qps1 = 0.0, arena_qps1 = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    string_qps1 = std::max(
+        string_qps1, MeasureReaderThreads(1, span_queries, string_reader));
+    handle_qps1 = std::max(
+        handle_qps1, MeasureReaderThreads(1, span_queries, handle_reader));
+    ++handle_reader_threads;
+    arena_qps1 = std::max(
+        arena_qps1, MeasureReaderThreads(1, span_queries, arena_reader));
+  }
+  std::vector<double> reader_threads = {1, 2, 4};
+  std::vector<double> string_qps = {string_qps1};
+  std::vector<double> handle_qps = {handle_qps1};
+  std::vector<double> arena_qps_series = {arena_qps1};
+  for (const int threads : {2, 4}) {
+    string_qps.push_back(
+        MeasureReaderThreads(threads, span_queries, string_reader));
+    handle_qps.push_back(
+        MeasureReaderThreads(threads, span_queries, handle_reader));
+    handle_reader_threads += threads;
+    arena_qps_series.push_back(
+        MeasureReaderThreads(threads, span_queries, arena_reader));
+  }
+  const double handle_vs_arena =
+      arena_qps1 > 0.0 ? handle_qps1 / arena_qps1 : 0.0;
+  const double handle_vs_string =
+      string_qps1 > 0.0 ? handle_qps1 / string_qps1 : 0.0;
+  std::printf("\nreader fast path (%lld planned queries/thread, handle "
+              "spans of %zu):\n",
+              static_cast<long long>(span_queries), kSpan);
+  std::printf("%-10s%18s%18s%18s\n", "threads", "string-key q/s",
+              "cached-handle q/s", "raw arena q/s");
+  for (std::size_t i = 0; i < reader_threads.size(); ++i) {
+    std::printf("%-10d%18.0f%18.0f%18.0f\n",
+                static_cast<int>(reader_threads[i]), string_qps[i],
+                handle_qps[i], arena_qps_series[i]);
+  }
+  std::printf("cached handle vs raw arena %.2fx, vs string key %.1fx "
+              "(1 reader)\n",
+              handle_vs_arena, handle_vs_string);
+  EmitJsonSeries("micro_engine_throughput", "reader_qps_string_key",
+                 reader_threads, string_qps);
+  EmitJsonSeries("micro_engine_throughput", "reader_qps_cached_handle",
+                 reader_threads, handle_qps);
+  EmitJsonSeries("micro_engine_throughput", "reader_qps_raw_arena",
+                 reader_threads, arena_qps_series);
+  EmitJsonSeries("micro_engine_throughput", "handle_vs_arena_ratio", {0},
+                 {handle_vs_arena});
+  EmitJsonSeries("micro_engine_throughput", "handle_vs_string_speedup", {0},
+                 {handle_vs_string});
+  bool handle_gate_ok = true;
+  if (handle_vs_arena < 0.85) {
+    std::printf("FAIL: cached-handle batch queries must reach >= 0.85x "
+                "the raw arena (got %.2fx)\n",
+                handle_vs_arena);
+    handle_gate_ok = false;
+  }
+  if (handle_vs_string < 3.0) {
+    std::printf("FAIL: cached-handle batch queries must be >= 3x the "
+                "string-keyed path (got %.1fx)\n",
+                handle_vs_string);
+    handle_gate_ok = false;
+  }
+  // Steady-state accounting: the key has published exactly once, so each
+  // handle reader thread re-acquires the shared_ptr exactly once (its
+  // cold slot observing that publication) and every later span is a
+  // lease hit — misses track publications observed, not queries.
+  const std::uint64_t lease_misses =
+      engine.Stats(handle).lease_misses - lease_misses_before;
+  std::printf("lease misses %llu across %d handle reader threads "
+              "(1 publication each)\n",
+              static_cast<unsigned long long>(lease_misses),
+              handle_reader_threads);
+  EmitJsonSeries("micro_engine_throughput", "lease_misses_per_run", {0},
+                 {static_cast<double>(lease_misses)});
+  if (lease_misses != static_cast<std::uint64_t>(handle_reader_threads)) {
+    std::printf("FAIL: lease misses must equal publications observed "
+                "(expected %d, got %llu)\n",
+                handle_reader_threads,
+                static_cast<unsigned long long>(lease_misses));
+    handle_gate_ok = false;
+  }
+
   // Accuracy: engine snapshot vs directly-maintained DADO, same stream.
   FrequencyVector truth(kDomain);
   DynamicVOptHistogram direct(
@@ -521,5 +686,8 @@ int main(int argc, char** argv) {
               ks_direct, ks_engine);
   EmitJsonSeries("micro_engine_throughput", "ks_direct", {0}, {ks_direct});
   EmitJsonSeries("micro_engine_throughput", "ks_engine", {0}, {ks_engine});
-  return latency_gate_ok && telemetry_gate_ok && query_gate_ok ? 0 : 1;
+  return latency_gate_ok && telemetry_gate_ok && query_gate_ok &&
+                 handle_gate_ok
+             ? 0
+             : 1;
 }

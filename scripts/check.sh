@@ -11,7 +11,7 @@
 #   (default build dir: build)
 #
 # --bench-json additionally captures the benches' machine-readable series
-# (one JSON object per line) into BENCH_PR7.json at the repo root — the
+# (one JSON object per line) into BENCH_PR8.json at the repo root — the
 # perf-trajectory record (BENCH_PR2.json / BENCH_PR4.json hold the
 # earlier-era series). The file leads with a `_meta` line recording the
 # capture environment; in particular the stock container is 1-core, so
@@ -71,9 +71,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 run_bench() {
   # Runs a bench, teeing its stdout; with --bench-json the JSON series
-  # lines (and only those) are appended to BENCH_PR7.json.
+  # lines (and only those) are appended to BENCH_PR8.json.
   if [[ "$BENCH_JSON" == 1 ]]; then
-    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR7.json
+    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR8.json
   else
     "$@"
   fi
@@ -83,7 +83,7 @@ if [[ "$BENCH_JSON" == 1 ]]; then
   printf '{"bench":"_meta","series":"environment","cores":%s,"note":"%s"}\n' \
     "$(nproc 2>/dev/null || echo 1)" \
     "captured in a container; on 1 core the multi-thread series measure batching/pipelining, not parallel scaling" \
-    > BENCH_PR7.json
+    > BENCH_PR8.json
 fi
 
 echo "== merge-pipeline micro-bench (quick) =="
@@ -93,7 +93,7 @@ echo "== engine micro-bench (quick) =="
 run_bench "$BUILD_DIR/micro_engine_throughput" --quick
 
 if [[ "$BENCH_JSON" == 1 ]]; then
-  echo "== bench series written to BENCH_PR7.json =="
+  echo "== bench series written to BENCH_PR8.json =="
 fi
 
 if [[ "$METRICS_JSON" == 1 ]]; then

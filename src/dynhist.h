@@ -41,6 +41,7 @@
 #include "src/distributed/site.h"          // IWYU pragma: export
 #include "src/engine/engine_options.h"     // IWYU pragma: export
 #include "src/engine/histogram_engine.h"   // IWYU pragma: export
+#include "src/engine/key_handle.h"         // IWYU pragma: export
 #include "src/engine/shard.h"              // IWYU pragma: export
 #include "src/engine/snapshot.h"           // IWYU pragma: export
 #include "src/estimate/selectivity.h"      // IWYU pragma: export

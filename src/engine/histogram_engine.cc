@@ -7,9 +7,16 @@
 
 #include "src/common/check.h"
 #include "src/distributed/global_histogram.h"
+#include "src/engine/snapshot_lease.h"
 
 namespace dynhist::engine {
 namespace {
+
+// Engine instance ids for the lease slot identity (see snapshot_lease.h).
+std::uint64_t NextEngineId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 // splitmix64 finalizer: scatters adjacent attribute values across shards
 // (std::hash on integers is the identity on libstdc++, which would map
@@ -32,27 +39,28 @@ void BumpMax(std::atomic<std::uint64_t>& cell, std::uint64_t value) {
 }  // namespace
 
 std::string EngineStats::ToJson() const {
-  char buf[832];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "{\"keys\":%" PRIu64 ",\"inserts\":%" PRIu64 ",\"deletes\":%" PRIu64
       ",\"queries\":%" PRIu64 ",\"fallback_queries\":%" PRIu64
-      ",\"publishes\":%" PRIu64
+      ",\"unknown_queries\":%" PRIu64 ",\"lease_hits\":%" PRIu64
+      ",\"lease_misses\":%" PRIu64 ",\"publishes\":%" PRIu64
       ",\"async_publishes\":%" PRIu64 ",\"publish_queued\":%" PRIu64
       ",\"publish_coalesced\":%" PRIu64 ",\"publish_rejected\":%" PRIu64
       ",\"publish_skipped\":%" PRIu64 ",\"publish_nanos\":%" PRIu64
       ",\"max_publish_nanos\":%" PRIu64 ",\"queue_wait_nanos\":%" PRIu64
       ",\"snapshot_epoch\":%" PRIu64 "}",
-      keys, inserts, deletes, queries, fallback_queries, publishes,
-      async_publishes, publish_queued, publish_coalesced, publish_rejected,
-      publish_skipped, publish_nanos, max_publish_nanos, queue_wait_nanos,
-      snapshot_epoch);
+      keys, inserts, deletes, queries, fallback_queries, unknown_queries,
+      lease_hits, lease_misses, publishes, async_publishes, publish_queued,
+      publish_coalesced, publish_rejected, publish_skipped, publish_nanos,
+      max_publish_nanos, queue_wait_nanos, snapshot_epoch);
   return buf;
 }
 
-HistogramEngine::KeyState::KeyState(std::string key_name,
-                                    const EngineOptions& options,
-                                    const ShardTelemetry& shard_telemetry)
+internal::KeyState::KeyState(std::string key_name,
+                             const EngineOptions& options,
+                             const ShardTelemetry& shard_telemetry)
     : name(std::move(key_name)),
       snapshot_every(options.snapshot_every),
       merged_buckets(options.merged_buckets),
@@ -69,6 +77,7 @@ HistogramEngine::KeyState::KeyState(std::string key_name,
 HistogramEngine::HistogramEngine(const EngineOptions& options)
     : options_(options),
       telemetry_on_(options.enable_telemetry),
+      engine_id_(NextEngineId()),
       trace_(telemetry_on_ && options.trace_capacity > 0
                  ? static_cast<std::size_t>(options.trace_capacity)
                  : 0),
@@ -184,6 +193,14 @@ void HistogramEngine::RegisterKeyMetrics(KeyState& state) {
   counter("dynhist_key_fallback_queries_total",
           "Estimate reads that walked model pieces (no compiled arena)",
           c.fallback_queries);
+  counter("dynhist_key_snapshot_lease_hits_total",
+          "Handle-path lease revalidations served from the thread-local "
+          "cache (no shared_ptr traffic)",
+          c.lease_hits);
+  counter("dynhist_key_snapshot_lease_misses_total",
+          "Handle-path lease revalidations that re-acquired the published "
+          "snapshot (version moved, cold slot, or evicted)",
+          c.lease_misses);
   counter("dynhist_key_publishes_total", "Snapshot publications",
           c.publishes);
   counter("dynhist_key_async_publishes_total",
@@ -213,6 +230,18 @@ void HistogramEngine::RegisterKeyMetrics(KeyState& state) {
       telemetry::MetricKind::kGauge, labels, [s] {
         return static_cast<double>(
             s->epoch.load(std::memory_order_relaxed));
+      });
+  metrics_.AddCallback(
+      "dynhist_key_lease_staleness_versions",
+      "Publications not yet observed by any reader lease (0 while the "
+      "reader fleet is current)",
+      telemetry::MetricKind::kGauge, labels, [s] {
+        const std::uint64_t version =
+            s->version.load(std::memory_order_relaxed);
+        const std::uint64_t leased =
+            s->last_leased_version.load(std::memory_order_relaxed);
+        return version > leased ? static_cast<double>(version - leased)
+                                : 0.0;
       });
   metrics_.AddCallback(
       "dynhist_key_staleness_updates",
@@ -371,30 +400,127 @@ double HistogramEngine::EstimateEquals(std::string_view key,
 
 double HistogramEngine::EstimateImpl(std::string_view key, std::int64_t lo,
                                      std::int64_t hi) const {
+  // Thin wrapper: the one transparent registry find, then the shared
+  // estimate body on a per-call shared_ptr acquisition (no lease — see
+  // the header on why transient string lookups stay off the TLS cache).
   KeyState* state = FindKey(key);
   if (state == nullptr) {
     unknown_queries_.fetch_add(1, std::memory_order_release);
     return 0.0;
   }
-  const std::uint64_t qn =
-      state->counters.queries.fetch_add(1, std::memory_order_release);
-  std::shared_ptr<const VersionedModel> published =
+  const std::shared_ptr<const VersionedModel> published =
       state->published.load(std::memory_order_acquire);
-  if (published == nullptr) return 0.0;  // implicit empty epoch-0 snapshot
-  const VersionedModel& vm = *published;
-  const bool compiled = vm.compiled.attached();
+  return EstimateOnState(*state, published.get(), lo, hi);
+}
+
+double HistogramEngine::EstimateOnState(KeyState& state,
+                                        const VersionedModel* vm,
+                                        std::int64_t lo,
+                                        std::int64_t hi) const {
+  if (vm == nullptr) {
+    // Unified fallback: a key with no published snapshot answers exactly
+    // like an unknown key — the implicit empty epoch-0 view, counted in
+    // unknown_queries (not as a served per-key query).
+    unknown_queries_.fetch_add(1, std::memory_order_release);
+    return 0.0;
+  }
+  const std::uint64_t qn =
+      state.counters.queries.fetch_add(1, std::memory_order_release);
+  const bool compiled = vm->compiled.attached();
   // Sampling every 1024th query keeps the latency histogram's two clock
   // reads off the hot path; qn is the pre-increment count, so a key's
   // first query is always sampled and the series is never empty.
   const bool sample = telemetry_on_ && (qn & 1023u) == 0u;
   const std::uint64_t t0 = sample ? trace_.NowNs() : 0;
-  const double result = compiled ? vm.compiled.EstimateRange(lo, hi)
-                                 : vm.model.EstimateRange(lo, hi);
+  const double result = compiled ? vm->compiled.EstimateRange(lo, hi)
+                                 : vm->model.EstimateRange(lo, hi);
   if (sample) query_latency_hist_->Record(trace_.NowNs() - t0);
   if (!compiled) {
-    state->counters.fallback_queries.fetch_add(1, std::memory_order_release);
+    state.counters.fallback_queries.fetch_add(1, std::memory_order_release);
   }
   return result;
+}
+
+void HistogramEngine::CountLease(KeyState& state, bool hit) const {
+  std::atomic<std::uint64_t>& cell =
+      hit ? state.counters.lease_hits : state.counters.lease_misses;
+  cell.fetch_add(1, std::memory_order_release);
+}
+
+KeyHandle HistogramEngine::Resolve(std::string_view key) {
+  return KeyHandle(FindOrCreateKey(key));
+}
+
+double HistogramEngine::EstimateRange(const KeyHandle& handle,
+                                      std::int64_t lo,
+                                      std::int64_t hi) const {
+  DH_CHECK(handle.valid());
+  KeyState& state = *handle.state_;
+  const internal::LeaseView lease =
+      internal::AcquireLease(state, engine_id_);
+  CountLease(state, lease.hit);
+  return EstimateOnState(state, lease.model(), lo, hi);
+}
+
+double HistogramEngine::EstimateEquals(const KeyHandle& handle,
+                                       std::int64_t v) const {
+  return EstimateRange(handle, v, v);
+}
+
+void HistogramEngine::EstimateRangeBatch(const KeyHandle& handle,
+                                         const RangeQuery* queries,
+                                         std::size_t count,
+                                         double* results) const {
+  if (count == 0) return;
+  DH_CHECK(handle.valid());
+  KeyState& state = *handle.state_;
+  const internal::LeaseView lease =
+      internal::AcquireLease(state, engine_id_);
+  CountLease(state, lease.hit);
+  const VersionedModel* vm = lease.model();
+  if (vm == nullptr) {
+    // Unified no-snapshot fallback, batch form: every query in the span
+    // is an unknown-query answer of 0.0 (see EstimateOnState).
+    unknown_queries_.fetch_add(count, std::memory_order_release);
+    std::fill(results, results + count, 0.0);
+    return;
+  }
+  // One counter settle for the span; the loop body is the raw arena (or
+  // piece-walk) lookup — per-query cost converges to the arena's as the
+  // batch grows. Answers are bit-identical to the scalar path: same
+  // expressions, same snapshot.
+  state.counters.queries.fetch_add(count, std::memory_order_release);
+  if (vm->compiled.attached()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = vm->compiled.EstimateRange(queries[i].lo, queries[i].hi);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      results[i] = vm->model.EstimateRange(queries[i].lo, queries[i].hi);
+    }
+    state.counters.fallback_queries.fetch_add(count,
+                                              std::memory_order_release);
+  }
+}
+
+std::vector<double> HistogramEngine::EstimateRangeBatch(
+    const KeyHandle& handle, const std::vector<RangeQuery>& queries) const {
+  std::vector<double> results(queries.size(), 0.0);
+  EstimateRangeBatch(handle, queries.data(), queries.size(),
+                     results.data());
+  return results;
+}
+
+EngineSnapshot HistogramEngine::LeasedSnapshot(
+    const KeyHandle& handle) const {
+  DH_CHECK(handle.valid());
+  KeyState& state = *handle.state_;
+  const internal::LeaseView lease =
+      internal::AcquireLease(state, engine_id_);
+  CountLease(state, lease.hit);
+  state.counters.queries.fetch_add(1, std::memory_order_release);
+  if (lease.model() == nullptr) return EngineSnapshot();
+  return EngineSnapshot(*lease.snapshot);  // the one handoff refcount op
 }
 
 double HistogramEngine::LiveTotalCount(std::string_view key) {
@@ -415,6 +541,8 @@ void HistogramEngine::AccumulateStats(const KeyState& state,
   stats->queries += c.queries.load(std::memory_order_acquire);
   stats->fallback_queries +=
       c.fallback_queries.load(std::memory_order_acquire);
+  stats->lease_hits += c.lease_hits.load(std::memory_order_acquire);
+  stats->lease_misses += c.lease_misses.load(std::memory_order_acquire);
   stats->publishes += c.publishes.load(std::memory_order_acquire);
   stats->async_publishes +=
       c.async_publishes.load(std::memory_order_acquire);
@@ -441,7 +569,9 @@ EngineStats HistogramEngine::Stats() const {
   for (const auto& [name, state] : registry_) {
     AccumulateStats(*state, &stats);
   }
-  stats.queries += unknown_queries_.load(std::memory_order_acquire);
+  stats.unknown_queries =
+      unknown_queries_.load(std::memory_order_acquire);
+  stats.queries += stats.unknown_queries;
   return stats;
 }
 
@@ -451,6 +581,14 @@ EngineStats HistogramEngine::Stats(std::string_view key) const {
   if (state == nullptr) return stats;
   stats.keys = 1;
   AccumulateStats(*state, &stats);
+  return stats;
+}
+
+EngineStats HistogramEngine::Stats(const KeyHandle& handle) const {
+  DH_CHECK(handle.valid());
+  EngineStats stats;
+  stats.keys = 1;
+  AccumulateStats(*handle.state_, &stats);
   return stats;
 }
 
@@ -476,6 +614,17 @@ telemetry::MetricsSnapshot HistogramEngine::CollectMetrics() const {
   add("dynhist_engine_fallback_queries_total",
       "Estimate reads that walked model pieces (no compiled arena)",
       MetricKind::kCounter, stats.fallback_queries);
+  add("dynhist_engine_unknown_queries_total",
+      "Estimate reads answered without a snapshot (unknown key, or known "
+      "key never published)",
+      MetricKind::kCounter, stats.unknown_queries);
+  add("dynhist_snapshot_lease_hits_total",
+      "Lease revalidations served from thread-local caches (no "
+      "shared_ptr traffic)",
+      MetricKind::kCounter, stats.lease_hits);
+  add("dynhist_snapshot_lease_misses_total",
+      "Lease revalidations that re-acquired the published snapshot",
+      MetricKind::kCounter, stats.lease_misses);
   add("dynhist_engine_publishes_total",
       "Snapshot publications across all keys", MetricKind::kCounter,
       stats.publishes);
@@ -723,7 +872,13 @@ std::size_t HistogramEngine::BufferedOps(std::string_view key) const {
 
 void HistogramEngine::SetKeyOptions(std::string_view key,
                                     const KeyOptionOverrides& o) {
-  KeyState* state = FindOrCreateKey(key);
+  SetKeyOptions(Resolve(key), o);  // one lookup, shared with the queries
+}
+
+void HistogramEngine::SetKeyOptions(const KeyHandle& handle,
+                                    const KeyOptionOverrides& o) {
+  DH_CHECK(handle.valid());
+  KeyState* state = handle.state_;
   if (o.snapshot_every) {
     DH_CHECK(*o.snapshot_every >= 0);
     state->snapshot_every.store(*o.snapshot_every,
@@ -747,10 +902,22 @@ void HistogramEngine::SetKeyOptions(std::string_view key,
   }
 }
 
+EngineOptions HistogramEngine::EffectiveOptions(
+    const KeyHandle& handle) const {
+  DH_CHECK(handle.valid());
+  return EffectiveOptionsOf(*handle.state_);
+}
+
 EngineOptions HistogramEngine::EffectiveOptions(std::string_view key) const {
-  EngineOptions effective = options_;
   const KeyState* state = FindKey(key);
-  if (state == nullptr) return effective;
+  if (state == nullptr) return options_;
+  return EffectiveOptionsOf(*state);
+}
+
+EngineOptions HistogramEngine::EffectiveOptionsOf(
+    const KeyState& st) const {
+  EngineOptions effective = options_;
+  const KeyState* state = &st;
   effective.snapshot_every =
       state->snapshot_every.load(std::memory_order_relaxed);
   effective.merged_buckets =
@@ -811,6 +978,11 @@ EngineSnapshot HistogramEngine::Publish(
       VersionedModel{std::move(merged), epoch, watermark,
                      std::move(compiled)});
   state.published.store(versioned, std::memory_order_release);
+  // Lease validation stamp, bumped strictly AFTER the pointer swap: a
+  // reader that acquire-loads the new version is guaranteed to observe
+  // (at least) this publication in `published` — the invariant the
+  // thread-local lease cache's hit path rests on (snapshot_lease.h).
+  state.version.fetch_add(1, std::memory_order_release);
   state.published_at.store(watermark, std::memory_order_relaxed);
   state.counters.publishes.fetch_add(1, std::memory_order_release);
 

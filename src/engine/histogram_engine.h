@@ -66,6 +66,8 @@
 
 #include "src/distributed/global_histogram.h"
 #include "src/engine/engine_options.h"
+#include "src/engine/key_handle.h"
+#include "src/engine/key_state.h"
 #include "src/engine/shard.h"
 #include "src/engine/snapshot.h"
 #include "src/telemetry/exposition.h"
@@ -99,6 +101,23 @@ struct EngineStats {
                                        ///< (compile_snapshots off); the
                                        ///< compiled-path share is
                                        ///< queries - fallback_queries
+  /// Estimate reads answered without a snapshot: the key was unknown OR
+  /// known but never published. Both take the same fallback path (return
+  /// 0.0, the empty epoch-0 view) and both count here — and in `queries`
+  /// — so "reads the optimizer got nothing for" is one number. Global
+  /// only (an unknown key has no per-key counters to charge).
+  std::uint64_t unknown_queries = 0;
+
+  // Epoch-pinned reader fast path (KeyHandle + thread-local lease
+  // cache; see snapshot_lease.h). Every handle-path revalidation is
+  // either a hit (cached snapshot reused — zero refcount traffic) or a
+  // miss (shared_ptr re-acquired because the key's version moved, the
+  // slot was cold, or it had been evicted). In steady state misses
+  // track publications observed, not queries — the acceptance probe
+  // that the hot path really performs no shared_ptr operations.
+  std::uint64_t lease_hits = 0;    ///< revalidations served from the lease
+  std::uint64_t lease_misses = 0;  ///< revalidations that re-acquired
+
   std::uint64_t publishes = 0;   ///< snapshot publications across all keys
 
   // Async publish pipeline (zero in purely synchronous engines).
@@ -177,12 +196,15 @@ class HistogramEngine {
   /// Layers per-key overrides over the global EngineOptions for `key`
   /// (creating the key if needed). Present fields take effect immediately
   /// — including on the async/sync publish routing of in-flight writers;
-  /// absent fields keep their current per-key value. Thread-safe.
+  /// absent fields keep their current per-key value. Thread-safe. The
+  /// string form is a thin wrapper: Resolve + the handle overload.
   void SetKeyOptions(std::string_view key, const KeyOptionOverrides& o);
+  void SetKeyOptions(const KeyHandle& handle, const KeyOptionOverrides& o);
 
   /// The effective (global ⊕ per-key) options for `key`. Unknown keys
   /// report the global options. Thread-safe.
   EngineOptions EffectiveOptions(std::string_view key) const;
+  EngineOptions EffectiveOptions(const KeyHandle& handle) const;
 
   /// Runs up to `max_requests` queued publish requests on the calling
   /// thread, returning how many it ran. With merge_workers == 0 this is
@@ -217,9 +239,57 @@ class HistogramEngine {
   /// routed through the snapshot's compiled prefix-CDF arena when one was
   /// built at publish time (EngineOptions::compile_snapshots, default),
   /// through the piece-walk model otherwise — answers are bit-identical.
+  ///
+  /// These string-keyed reads are thin wrappers: one transparent
+  /// registry find (shared lock), then the same estimate body the handle
+  /// overloads run. They re-acquire the published shared_ptr per call —
+  /// the pre-handle cost model — and deliberately skip the thread-local
+  /// lease cache so transient lookups never evict the slots long-lived
+  /// handle readers depend on. Hot readers should Resolve() once and
+  /// query through the KeyHandle overloads below.
   double EstimateRange(std::string_view key, std::int64_t lo,
                        std::int64_t hi) const;
   double EstimateEquals(std::string_view key, std::int64_t v) const;
+
+  // ---- Epoch-pinned reader fast path (see key_handle.h) ----
+
+  /// Resolves `key` to a stable handle, creating the key if needed (so a
+  /// returned handle is always valid). The registry find happens here,
+  /// once; queries through the handle never repeat it. The handle stays
+  /// valid across publishes, RefreshAll, and option changes, for the
+  /// engine's lifetime — it is the object a long-lived reader (or, in
+  /// the distributed tier, a server connection) holds per key.
+  KeyHandle Resolve(std::string_view key);
+
+  /// Estimates through a resolved handle: one relaxed version load
+  /// revalidates this thread's snapshot lease, then the arena lookup —
+  /// no registry lock and, on the steady-state hit path, no shared_ptr
+  /// refcount traffic (the lease re-acquires only when the key's
+  /// version moved; see snapshot_lease.h for the ordering contract).
+  /// Bit-identical to the string-keyed reads.
+  double EstimateRange(const KeyHandle& handle, std::int64_t lo,
+                       std::int64_t hi) const;
+  double EstimateEquals(const KeyHandle& handle, std::int64_t v) const;
+
+  /// Batch estimate: answers `count` range queries into `results`,
+  /// revalidating the lease and settling the stats counters ONCE for
+  /// the whole span — the per-query cost converges to the raw arena
+  /// lookup as the batch grows. Results are exactly what `count`
+  /// EstimateRange(handle, …) calls would return (the batch is one
+  /// consistent snapshot: all answers come from the same lease).
+  void EstimateRangeBatch(const KeyHandle& handle, const RangeQuery* queries,
+                          std::size_t count, double* results) const;
+  std::vector<double> EstimateRangeBatch(
+      const KeyHandle& handle, const std::vector<RangeQuery>& queries) const;
+
+  /// The published snapshot via the lease — the handle analogue of
+  /// Snapshot(key), sharing its semantics (counts a query; yields the
+  /// empty epoch-0 snapshot before first publication) but revalidating
+  /// through the thread-local lease instead of re-acquiring from the
+  /// registry. The returned EngineSnapshot copies the leased shared_ptr
+  /// (one refcount op — the handoff price, not the steady-state one).
+  /// Per thread, epochs observed through one handle are monotone.
+  EngineSnapshot LeasedSnapshot(const KeyHandle& handle) const;
 
   /// Exact live mass currently absorbed by the shards of `key` (flushes
   /// buffers; takes shard locks — diagnostic, not a hot-path call).
@@ -227,9 +297,11 @@ class HistogramEngine {
 
   /// Global aggregate across all keys / one key's share (an unknown key
   /// reports all-zero stats with keys == 0). See the EngineStats
-  /// contract for the consistency model.
+  /// contract for the consistency model. The handle overload skips the
+  /// registry find, like every handle entry point.
   EngineStats Stats() const;
   EngineStats Stats(std::string_view key) const;
+  EngineStats Stats(const KeyHandle& handle) const;
 
   /// Metrics exposition: everything the engine knows about itself —
   /// global and per-key counters, staleness/queue-depth gauges, and the
@@ -249,79 +321,11 @@ class HistogramEngine {
   const EngineOptions& options() const { return options_; }
 
  private:
-  /// One key's share of the EngineStats counters (see the EngineStats
-  /// ordering contract; these are what Stats() sums).
-  struct KeyCounters {
-    std::atomic<std::uint64_t> inserts{0};
-    std::atomic<std::uint64_t> deletes{0};
-    std::atomic<std::uint64_t> queries{0};
-    std::atomic<std::uint64_t> fallback_queries{0};
-    std::atomic<std::uint64_t> publishes{0};
-    std::atomic<std::uint64_t> async_publishes{0};
-    std::atomic<std::uint64_t> publish_queued{0};
-    std::atomic<std::uint64_t> publish_coalesced{0};
-    std::atomic<std::uint64_t> publish_rejected{0};
-    std::atomic<std::uint64_t> publish_skipped{0};
-    std::atomic<std::uint64_t> publish_nanos{0};
-    std::atomic<std::uint64_t> max_publish_nanos{0};
-    std::atomic<std::uint64_t> queue_wait_nanos{0};
-  };
-
-  struct KeyState {
-    KeyState(std::string key_name, const EngineOptions& options,
-             const ShardTelemetry& shard_telemetry);
-
-    /// The key, interned for the registry's lifetime: trace events and
-    /// metric labels reference its storage.
-    const std::string name;
-
-    std::vector<std::unique_ptr<EngineShard>> shards;
-
-    KeyCounters counters;
-
-    // Telemetry timestamps (offsets on the engine's trace clock, relaxed
-    // — diagnostic): when this key's queued publish request was
-    // enqueued (at most one is outstanding, so one slot suffices), and
-    // when the key last published (0 = never), which drives the
-    // staleness-seconds gauge.
-    std::atomic<std::uint64_t> enqueued_at_ns{0};
-    std::atomic<std::uint64_t> last_publish_ns{0};
-
-    // Updates accepted for this key, and the value of that counter at the
-    // last publication — their difference drives auto-publication.
-    std::atomic<std::uint64_t> update_count{0};
-    std::atomic<std::uint64_t> published_at{0};
-
-    // Effective per-key options (global defaults, then SetKeyOptions
-    // overrides). Atomics: writers consult them on every update while
-    // SetKeyOptions stores concurrently.
-    std::atomic<std::int64_t> snapshot_every;
-    std::atomic<std::int64_t> merged_buckets;
-    std::atomic<bool> legacy_reduce;
-    std::atomic<bool> async_publish;
-    std::atomic<bool> compile_snapshots;
-
-    // Async publish state: `publish_pending` is true while a request for
-    // this key sits in the queue — further cadence trips coalesce into it
-    // instead of enqueueing again (the worker publishes the key's newest
-    // state, so only the newest trip matters). `requested_at` is the
-    // update count at the last trip; the async cadence measures from
-    // max(published_at, requested_at) so a pending request suppresses
-    // re-trips until new updates accumulate past it.
-    std::atomic<bool> publish_pending{false};
-    std::atomic<std::uint64_t> requested_at{0};
-
-    std::mutex publish_mu;  // serializes merges of this key
-    std::atomic<std::uint64_t> epoch{0};
-    std::atomic<std::shared_ptr<const VersionedModel>> published;
-
-    // Publish-path scratch reused across epochs (guarded by publish_mu):
-    // the exported shard models and the merger's sweep/reduction buffers,
-    // so a steady-state publisher allocates nothing proportional to the
-    // shard count or piece count.
-    std::vector<HistogramModel> model_scratch;
-    distributed::SnapshotMerger merger;
-  };
+  // Per-key state and counters are hoisted to key_state.h (namespace
+  // internal) so KeyHandle and the thread-local snapshot lease cache can
+  // name them; the alias keeps this class's vocabulary unchanged.
+  using KeyState = internal::KeyState;
+  using KeyCounters = internal::KeyCounters;
 
   // Finds the key's state, creating it on the update path. Never returns
   // nullptr when create is true.
@@ -357,6 +361,23 @@ class HistogramEngine {
   // pay no clock read).
   double EstimateImpl(std::string_view key, std::int64_t lo,
                       std::int64_t hi) const;
+
+  // The estimate tail every entry point (string, handle, batch) funnels
+  // into: counts the query against `state`, unifies the no-snapshot
+  // fallback (vm == nullptr counts in unknown_queries_, exactly like an
+  // unknown key), routes through the arena or the piece walk, and
+  // samples latency. `vm` is whatever the caller's acquisition strategy
+  // produced — a freshly acquired shared_ptr (string path) or the
+  // thread's lease (handle path).
+  double EstimateOnState(KeyState& state, const VersionedModel* vm,
+                         std::int64_t lo, std::int64_t hi) const;
+
+  // Settles the lease hit/miss counters for one revalidation of `state`.
+  void CountLease(KeyState& state, bool hit) const;
+
+  // Global options overlaid with `state`'s per-key atomics — the shared
+  // body of both EffectiveOptions overloads.
+  EngineOptions EffectiveOptionsOf(const KeyState& state) const;
 
   // Pushes one op, bumps the key's update count, and runs the publish
   // cadence; returns the key's state so the caller can settle the
@@ -398,6 +419,10 @@ class HistogramEngine {
   // True when this engine records distributions/traces/queue-wait; the
   // EngineStats counters are maintained regardless.
   const bool telemetry_on_;
+  // Process-unique engine instance id, part of a lease slot's identity:
+  // a KeyState address reused by a later engine never matches an earlier
+  // engine's thread-local leases (see snapshot_lease.h).
+  const std::uint64_t engine_id_;
 
   // Telemetry instruments. Declared before the key registry so key
   // states (whose shards hold histogram pointers) never outlive them;
@@ -424,8 +449,11 @@ class HistogramEngine {
                      std::equal_to<>>
       registry_;
 
-  // Snapshot()/estimate reads against keys that were never created; the
-  // per-key query counters cover the rest (see Stats()).
+  // Reads the engine had no snapshot to answer from: estimates against
+  // keys that were never created AND estimates against created keys
+  // that have never published (one unified fallback path — both return
+  // the empty epoch-0 answer), plus Snapshot() of unknown keys. The
+  // per-key query counters cover reads that were actually served.
   mutable std::atomic<std::uint64_t> unknown_queries_{0};
 
   // Publish queue (all guarded by queue_mu_ unless noted). Holds raw

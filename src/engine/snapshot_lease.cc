@@ -1,0 +1,97 @@
+#include "src/engine/snapshot_lease.h"
+
+#include <array>
+
+namespace dynhist::engine::internal {
+namespace {
+
+struct Slot {
+  KeyState* state = nullptr;     // identity: state pointer + engine id
+  std::uint64_t engine_id = 0;
+  std::uint64_t version = 0;     // stamp the cached snapshot was leased at
+  std::uint64_t last_used = 0;   // LRU tick
+  std::shared_ptr<const VersionedModel> snapshot;
+};
+
+struct LeaseCache {
+  std::array<Slot, kLeaseSlots> slots;
+  std::uint64_t tick = 0;
+  std::uint64_t evictions = 0;
+};
+
+LeaseCache& Cache() {
+  thread_local LeaseCache cache;
+  return cache;
+}
+
+// Relaxed running max: records the newest version any reader leased,
+// which drives the per-key lease-staleness gauge. Diagnostic — losing a
+// race only under-reports the max by one revalidation.
+void NoteLeasedVersion(KeyState& state, std::uint64_t version) {
+  std::uint64_t prev =
+      state.last_leased_version.load(std::memory_order_relaxed);
+  while (prev < version &&
+         !state.last_leased_version.compare_exchange_weak(
+             prev, version, std::memory_order_relaxed,
+             std::memory_order_relaxed)) {
+  }
+}
+
+// (Re)fills `slot` from the key's published pointer. Version is loaded
+// with acquire BEFORE the pointer: the publisher swaps the pointer and
+// then bumps the stamp, so the pointer load returns a snapshot at least
+// as new as the observed version (possibly newer, in which case the next
+// revalidation misses once more and catches the stamp up — correctness
+// is unaffected, the lease is never ahead of `published`).
+LeaseView FillSlot(Slot& slot, KeyState& state, std::uint64_t engine_id,
+                   std::uint64_t tick) {
+  const std::uint64_t version =
+      state.version.load(std::memory_order_acquire);
+  slot.snapshot = state.published.load(std::memory_order_acquire);
+  slot.state = &state;
+  slot.engine_id = engine_id;
+  slot.version = version;
+  slot.last_used = tick;
+  NoteLeasedVersion(state, version);
+  return LeaseView{&slot.snapshot, version, /*hit=*/false};
+}
+
+}  // namespace
+
+LeaseView AcquireLease(KeyState& state, std::uint64_t engine_id) {
+  LeaseCache& cache = Cache();
+  const std::uint64_t tick = ++cache.tick;
+  Slot* free_slot = nullptr;
+  Slot* lru = nullptr;
+  for (Slot& slot : cache.slots) {
+    if (slot.state == &state && slot.engine_id == engine_id) {
+      // Steady state: one relaxed load decides whether the cached (and
+      // previously acquire-synchronized) pointer is still current.
+      if (state.version.load(std::memory_order_relaxed) == slot.version) {
+        slot.last_used = tick;
+        return LeaseView{&slot.snapshot, slot.version, /*hit=*/true};
+      }
+      return FillSlot(slot, state, engine_id, tick);  // version moved
+    }
+    if (slot.state == nullptr) {
+      if (free_slot == nullptr) free_slot = &slot;
+    } else if (lru == nullptr || slot.last_used < lru->last_used) {
+      lru = &slot;
+    }
+  }
+  Slot* slot = free_slot;
+  if (slot == nullptr) {
+    slot = lru;
+    ++cache.evictions;
+  }
+  return FillSlot(*slot, state, engine_id, tick);
+}
+
+void ReleaseThreadLeases() {
+  LeaseCache& cache = Cache();
+  for (Slot& slot : cache.slots) slot = Slot{};
+}
+
+std::uint64_t ThreadLeaseEvictions() { return Cache().evictions; }
+
+}  // namespace dynhist::engine::internal

@@ -292,7 +292,10 @@ TEST(HistogramEngineTest, BackgroundThreadPublishesWithoutManualRefresh) {
   engine.FlushAll();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (engine.Snapshot(kKey).epoch() == 0 &&
+  // Wait for the full mass, not just a nonzero epoch: on a slow run
+  // (sanitizers, loaded CI) the first cadence tick can land mid-insert
+  // and publish a partial epoch; later ticks publish the rest.
+  while (engine.Snapshot(kKey).TotalCount() < 1'999.0 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
