@@ -25,11 +25,26 @@
 // The Prometheus dump is always run through SelfCheckPrometheus (even
 // without --metrics-out) and the process exits nonzero if the format
 // check fails — this is the exposition gate check.sh relies on.
+//
+// Serve mode (--serve) replaces the in-process demo with the real
+// distributed aggregator: an epoll/nonblocking FrameServer accepting
+// site frames and range queries on a TCP port (example_engine_client
+// is the matching load generator):
+//   --serve=PORT             listen on 127.0.0.1:PORT (0 = ephemeral)
+//   --serve-seconds=N        exit after N seconds (0 = until
+//                            SIGINT/SIGTERM)
+//   --port-file=PATH         write the bound port (for scripts racing
+//                            an ephemeral port)
+// On exit, serve mode prints aggregator totals and runs the same
+// Prometheus self-check gate over the aggregator + engine exposition.
+
+#include <signal.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +52,80 @@
 #include "src/dynhist.h"
 
 namespace {
+
+bool WriteFileOrComplain(const std::string& path, const std::string& text);
+
+volatile sig_atomic_t g_serve_stop = 0;
+
+void HandleStopSignal(int) { g_serve_stop = 1; }
+
+// Runs the FrameServer until the deadline or a stop signal; the
+// metrics self-check gate applies to the aggregator exposition exactly
+// as it does to the demo engine's.
+int RunServeMode(std::uint16_t port, long serve_seconds,
+                 const std::string& port_file) {
+  using dynhist::distributed::FrameServer;
+
+  FrameServer::Options options;
+  options.port = port;
+  FrameServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "engine_server: cannot listen: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::printf("engine_server: listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (!port_file.empty() &&
+      !WriteFileOrComplain(port_file,
+                           std::to_string(server.port()) + "\n")) {
+    return 1;
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;  // no SA_RESTART: interrupt sleeps
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(serve_seconds);
+  while (g_serve_stop == 0 &&
+         (serve_seconds == 0 ||
+          std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const dynhist::distributed::Aggregator& agg = server.aggregator();
+  std::printf("connections: %llu accepted\n",
+              static_cast<unsigned long long>(
+                  server.connections_accepted()));
+  std::printf("frames: %llu received (%llu applied, %llu duplicate, "
+              "%llu rejected), %llu bytes, %llu merges\n",
+              static_cast<unsigned long long>(agg.frames_received()),
+              static_cast<unsigned long long>(agg.frames_applied()),
+              static_cast<unsigned long long>(agg.frames_duplicate()),
+              static_cast<unsigned long long>(agg.frames_rejected()),
+              static_cast<unsigned long long>(agg.bytes_received()),
+              static_cast<unsigned long long>(agg.merges()));
+  std::printf("sites: %zu, keys: %zu\n", agg.NumSites(), agg.NumKeys());
+
+  std::string prom;
+  server.WriteMetricsPrometheus(&prom);
+  std::string format_error;
+  if (!dynhist::telemetry::SelfCheckPrometheus(prom, &format_error)) {
+    std::fprintf(stderr,
+                 "engine_server: metrics exposition FAILED self-check: "
+                 "%s\n",
+                 format_error.c_str());
+    return 1;
+  }
+  std::printf("metrics exposition: %zu bytes, self-check passed\n",
+              prom.size());
+  return 0;
+}
 
 // Writes `text` to `path`; returns false (with a diagnostic) on failure.
 bool WriteFileOrComplain(const std::string& path, const std::string& text) {
@@ -62,7 +151,10 @@ int main(int argc, char** argv) {
   using namespace dynhist;
   using namespace dynhist::engine;
 
-  std::string metrics_out, metrics_json_out, trace_out;
+  std::string metrics_out, metrics_json_out, trace_out, port_file;
+  bool serve = false;
+  long serve_port = 0;
+  long serve_seconds = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -71,11 +163,27 @@ int main(int argc, char** argv) {
       metrics_json_out = arg.substr(19);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      serve = true;
+      serve_port = std::strtol(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--serve-seconds=", 0) == 0) {
+      serve_seconds = std::strtol(arg.c_str() + 16, nullptr, 10);
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = arg.substr(12);
     } else {
       std::fprintf(stderr, "engine_server: unknown flag '%s'\n",
                    arg.c_str());
       return 2;
     }
+  }
+  if (serve_port < 0 || serve_port > 65535) {
+    std::fprintf(stderr, "engine_server: bad --serve port %ld\n",
+                 serve_port);
+    return 2;
+  }
+  if (serve) {
+    return RunServeMode(static_cast<std::uint16_t>(serve_port),
+                        serve_seconds, port_file);
   }
 
   constexpr std::int64_t kDomain = 5'001;

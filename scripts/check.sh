@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # One-command regression check: configure, build, run the full test suite,
-# then smoke-run the merge-pipeline and concurrent-engine micro-benchmarks
-# in quick mode (micro_merge_pipeline exits nonzero if the publish-path
-# speedup or parity criteria regress; micro_engine_throughput exits
-# nonzero if async publish stops cutting boundary-op p99 latency >= 5x,
-# if telemetry costs more than 5% of ingest throughput, or if the
-# compiled-snapshot query path drops below 5x the piece-walk baseline).
+# then smoke-run the merge-pipeline, concurrent-engine, and distributed
+# frame micro-benchmarks in quick mode (micro_merge_pipeline exits
+# nonzero if the publish-path speedup or parity criteria regress;
+# micro_engine_throughput exits nonzero if async publish stops cutting
+# boundary-op p99 latency >= 5x, if telemetry costs more than 5% of
+# ingest throughput, or if the compiled-snapshot query path drops below
+# 5x the piece-walk baseline; micro_dist_frames exits nonzero if
+# loopback frame ingest falls under 10k frames/sec or duplicate frames
+# cause any merges), and finally the multi-process loopback smoke test
+# (scripts/loopback_smoke.sh: real server + client over 127.0.0.1 with
+# bit-identical and idempotence gates).
 #
 # Usage: scripts/check.sh [--bench-json] [--metrics-json] [build_dir]
 #   (default build dir: build)
 #
 # --bench-json additionally captures the benches' machine-readable series
-# (one JSON object per line) into BENCH_PR8.json at the repo root — the
-# perf-trajectory record (BENCH_PR2.json / BENCH_PR4.json hold the
+# (one JSON object per line) into BENCH_PR9.json at the repo root — the
+# perf-trajectory record (BENCH_PR2/PR4/PR7/PR8.json hold the
 # earlier-era series). The file leads with a `_meta` line recording the
 # capture environment; in particular the stock container is 1-core, so
 # the multi-thread series document batching/pipelining wins, not
@@ -71,9 +76,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 run_bench() {
   # Runs a bench, teeing its stdout; with --bench-json the JSON series
-  # lines (and only those) are appended to BENCH_PR8.json.
+  # lines (and only those) are appended to BENCH_PR9.json.
   if [[ "$BENCH_JSON" == 1 ]]; then
-    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR8.json
+    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR9.json
   else
     "$@"
   fi
@@ -83,7 +88,7 @@ if [[ "$BENCH_JSON" == 1 ]]; then
   printf '{"bench":"_meta","series":"environment","cores":%s,"note":"%s"}\n' \
     "$(nproc 2>/dev/null || echo 1)" \
     "captured in a container; on 1 core the multi-thread series measure batching/pipelining, not parallel scaling" \
-    > BENCH_PR8.json
+    > BENCH_PR9.json
 fi
 
 echo "== merge-pipeline micro-bench (quick) =="
@@ -92,8 +97,16 @@ run_bench "$BUILD_DIR/micro_merge_pipeline" --quick
 echo "== engine micro-bench (quick) =="
 run_bench "$BUILD_DIR/micro_engine_throughput" --quick
 
+echo "== distributed frame micro-bench (quick) =="
+# Exits nonzero if loopback frame ingest drops below 10k frames/sec on
+# one core or if duplicate frames cause any merges at all.
+run_bench "$BUILD_DIR/micro_dist_frames" --quick
+
+echo "== loopback smoke (server + client over 127.0.0.1) =="
+scripts/loopback_smoke.sh "$BUILD_DIR"
+
 if [[ "$BENCH_JSON" == 1 ]]; then
-  echo "== bench series written to BENCH_PR8.json =="
+  echo "== bench series written to BENCH_PR9.json =="
 fi
 
 if [[ "$METRICS_JSON" == 1 ]]; then

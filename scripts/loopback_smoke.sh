@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Loopback smoke test: a real engine_server --serve process and a real
+# engine_client talking over 127.0.0.1 — the whole distributed tier
+# (site engines -> SiteShipper -> frames -> TCP -> FrameServer ->
+# Aggregator -> global-view queries) exercised as separate processes,
+# the way CI and a demo deployment run it.
+#
+# The client exits nonzero unless every range estimate served over the
+# wire is bit-identical to the aggregator merge replicated in-process
+# AND a forced re-ship of every frame is acknowledged as all-duplicates;
+# the server exits nonzero if its final metrics exposition flunks the
+# Prometheus self-check. This script propagates both.
+#
+# Usage: scripts/loopback_smoke.sh [build_dir]   (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+SERVER="$BUILD_DIR/example_engine_server"
+CLIENT="$BUILD_DIR/example_engine_client"
+for bin in "$SERVER" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "loopback_smoke: missing binary '$bin' (build first)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+PORT_FILE="$WORK/port"
+SERVER_LOG="$WORK/server.log"
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Ephemeral port; the server writes the bound port to the port file.
+# --serve-seconds bounds the run so an orphaned server cannot outlive a
+# wedged CI job.
+"$SERVER" --serve=0 --serve-seconds=120 --port-file="$PORT_FILE" \
+  > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait (up to ~10 s) for the port file to appear.
+for _ in $(seq 1 100); do
+  [[ -s "$PORT_FILE" ]] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "loopback_smoke: server died during startup:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ ! -s "$PORT_FILE" ]]; then
+  echo "loopback_smoke: server never published its port" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+PORT="$(cat "$PORT_FILE")"
+echo "loopback_smoke: server pid $SERVER_PID on 127.0.0.1:$PORT"
+
+CLIENT_STATUS=0
+"$CLIENT" --connect="127.0.0.1:$PORT" || CLIENT_STATUS=$?
+
+# Orderly shutdown: SIGTERM makes the server print its summary, run the
+# metrics self-check, and exit 0 only if the exposition is valid.
+kill -TERM "$SERVER_PID"
+SERVER_STATUS=0
+wait "$SERVER_PID" || SERVER_STATUS=$?
+unset SERVER_PID
+
+echo "-- server log --"
+cat "$SERVER_LOG"
+
+if [[ "$CLIENT_STATUS" != 0 ]]; then
+  echo "loopback_smoke: FAIL (client exit $CLIENT_STATUS)" >&2
+  exit 1
+fi
+if [[ "$SERVER_STATUS" != 0 ]]; then
+  echo "loopback_smoke: FAIL (server exit $SERVER_STATUS)" >&2
+  exit 1
+fi
+echo "loopback_smoke: all green"

@@ -1,0 +1,75 @@
+// FrameClient: the site-side (and query-side) connection to a
+// FrameServer.
+//
+// Blocking and sequential, built entirely on the net.h exactly-N loops
+// — the shared WriteAll/ReadAll discipline that fixed the demo-era
+// short-write/EINTR bugs is the only I/O path here. Requests and
+// replies pair in order, so ShipFrames() pipelines: it writes a whole
+// batch of frames before reading the batch's acks, converting the
+// per-frame network round trip into one per batch (the loopback bench
+// sweeps this depth).
+
+#ifndef DYNHIST_DISTRIBUTED_FRAME_CLIENT_H_
+#define DYNHIST_DISTRIBUTED_FRAME_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/distributed/aggregator.h"
+#include "src/distributed/site_shipper.h"
+
+namespace dynhist::distributed {
+
+class FrameClient {
+ public:
+  FrameClient() = default;
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  bool Connect(const std::string& host, std::uint16_t port,
+               std::string* error = nullptr);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Ships one encoded frame and reads its ack. False on transport
+  /// failure; otherwise *result (and, when rejected, *frame_error)
+  /// report the aggregator's verdict.
+  bool ShipFrame(std::string_view frame,
+                 Aggregator::IngestResult* result = nullptr,
+                 FrameError* frame_error = nullptr);
+
+  /// Pipelined batch ship: writes every frame, then reads every ack.
+  /// Returns false on transport failure; per-outcome counts accumulate
+  /// into the non-null out-params.
+  bool ShipFrames(const std::vector<std::string>& frames,
+                  std::size_t* applied = nullptr,
+                  std::size_t* duplicate = nullptr,
+                  std::size_t* rejected = nullptr);
+
+  /// Asks the server for the global estimate of lo <= key <= hi.
+  bool Query(std::string_view key, std::int64_t lo, std::int64_t hi,
+             double* estimate);
+
+  /// Fetches the server's Prometheus exposition.
+  bool FetchMetrics(std::string* text);
+
+  /// A SiteShipper sink that ships through this client; the round
+  /// aborts (sink returns false) on transport failure. Ack statuses
+  /// are ignored — idempotence makes every verdict acceptable.
+  SiteShipper::Sink FrameSink();
+
+ private:
+  bool ReadStatusReply(Aggregator::IngestResult* result,
+                       FrameError* frame_error);
+
+  int fd_ = -1;
+};
+
+}  // namespace dynhist::distributed
+
+#endif  // DYNHIST_DISTRIBUTED_FRAME_CLIENT_H_

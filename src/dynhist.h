@@ -6,7 +6,9 @@
 // measured against (Equi-Width/Depth, Compressed, V-Optimal, SADO, SSBM),
 // the Approximate-Compressed sampling baseline, quality metrics, synthetic
 // workloads, shared-nothing global-histogram construction, and the
-// concurrent histogram engine (sharded ingest + epoch snapshots).
+// concurrent histogram engine (sharded ingest + epoch snapshots), and
+// the distributed tier (snapshot frames, site shipper, socket
+// aggregator).
 //
 // Include this header for the full public API, or the individual module
 // headers for finer-grained dependencies.
@@ -37,8 +39,15 @@
 #include "src/histogram/static_voptimal.h"         // IWYU pragma: export
 #include "src/histogram2d/dynamic_grid.h"  // IWYU pragma: export
 #include "src/cluster/birch1d.h"           // IWYU pragma: export
+#include "src/distributed/aggregator.h"    // IWYU pragma: export
+#include "src/distributed/frame.h"         // IWYU pragma: export
+#include "src/distributed/frame_client.h"  // IWYU pragma: export
+#include "src/distributed/frame_server.h"  // IWYU pragma: export
 #include "src/distributed/global_histogram.h"      // IWYU pragma: export
+#include "src/distributed/net.h"           // IWYU pragma: export
 #include "src/distributed/site.h"          // IWYU pragma: export
+#include "src/distributed/site_shipper.h"  // IWYU pragma: export
+#include "src/distributed/wire_protocol.h" // IWYU pragma: export
 #include "src/engine/engine_options.h"     // IWYU pragma: export
 #include "src/engine/histogram_engine.h"   // IWYU pragma: export
 #include "src/engine/key_handle.h"         // IWYU pragma: export

@@ -388,6 +388,57 @@ void HistogramEngine::RefreshAllInternal(const char* trigger) {
   }
 }
 
+std::vector<std::string> HistogramEngine::Keys() const {
+  std::vector<std::string> keys;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    keys.reserve(registry_.size());
+    for (const auto& [name, state] : registry_) keys.push_back(name);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+EngineSnapshot HistogramEngine::PublishExternal(std::string_view key,
+                                                HistogramModel model,
+                                                std::uint64_t watermark) {
+  KeyState& state = *FindOrCreateKey(key);
+  std::unique_lock<std::mutex> publish_lock(state.publish_mu);
+  const std::uint64_t start_ns = trace_.NowNs();
+
+  CompiledSnapshot compiled;
+  if (state.compile_snapshots.load(std::memory_order_relaxed)) {
+    compiled = CompiledSnapshot::Compile(model);
+  }
+
+  // The publish tail of Publish(), minus the flush/merge head: same
+  // epoch/version ordering contract, same counters, so externally fed
+  // keys are indistinguishable to readers, leases, and telemetry.
+  const std::uint64_t epoch =
+      state.epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto versioned = std::make_shared<const VersionedModel>(
+      VersionedModel{std::move(model), epoch, watermark,
+                     std::move(compiled)});
+  state.published.store(versioned, std::memory_order_release);
+  state.version.fetch_add(1, std::memory_order_release);
+  state.counters.publishes.fetch_add(1, std::memory_order_release);
+
+  const std::uint64_t end_ns = trace_.NowNs();
+  const std::uint64_t nanos = end_ns - start_ns;
+  state.counters.publish_nanos.fetch_add(nanos, std::memory_order_release);
+  BumpMax(state.counters.max_publish_nanos, nanos);
+  if (telemetry_on_) {
+    state.last_publish_ns.store(end_ns, std::memory_order_relaxed);
+    publish_latency_hist_->Record(nanos);
+    if (trace_.enabled()) {
+      trace_.Record({telemetry::TraceEventKind::kPublish,
+                     state.name.c_str(), "external", epoch, start_ns, nanos,
+                     0});
+    }
+  }
+  return EngineSnapshot(std::move(versioned));
+}
+
 double HistogramEngine::EstimateRange(std::string_view key, std::int64_t lo,
                                       std::int64_t hi) const {
   return EstimateImpl(key, lo, hi);

@@ -193,6 +193,23 @@ class HistogramEngine {
   /// Publishes fresh snapshots for every key with unpublished updates.
   void RefreshAll();
 
+  /// Every registered key name, sorted. Cold path (shared registry
+  /// lock + string copies) — this is the SiteShipper's per-round key
+  /// enumeration, not a query primitive.
+  std::vector<std::string> Keys() const;
+
+  /// Publishes `model` verbatim as `key`'s next epoch, creating the key
+  /// if needed — the distributed tier's entry point: the aggregator's
+  /// merged global view enters the normal publish tail (arena compile,
+  /// epoch bump, atomic swap, lease invalidation), so readers ride the
+  /// compiled-snapshot + KeyHandle fast path with no idea the model
+  /// came off the wire. `watermark` is recorded on the snapshot
+  /// verbatim (for an aggregator: the summed site watermarks).
+  /// Serializes with other publications of the key; shard buffers and
+  /// ingest counters are untouched (external keys usually have none).
+  EngineSnapshot PublishExternal(std::string_view key, HistogramModel model,
+                                 std::uint64_t watermark = 0);
+
   /// Layers per-key overrides over the global EngineOptions for `key`
   /// (creating the key if needed). Present fields take effect immediately
   /// — including on the async/sync publish routing of in-flight writers;

@@ -417,5 +417,62 @@ TEST(HistogramEngineTest, CompiledQueriesSeePublishedEpochsLockFree) {
             final_snap.model().TotalCount());
 }
 
+TEST(HistogramEngineTest, KeysEnumeratesSortedRegisteredKeys) {
+  HistogramEngine engine(TestOptions());
+  EXPECT_TRUE(engine.Keys().empty());
+  engine.Insert("zeta", 1);
+  engine.Insert("alpha", 2);
+  engine.Insert("mid", 3);
+  const std::vector<std::string> keys = engine.Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "mid");
+  EXPECT_EQ(keys[2], "zeta");
+}
+
+TEST(HistogramEngineTest, PublishExternalServesTheGivenModel) {
+  // PublishExternal is the aggregator's entry point: a model produced
+  // outside the shard path becomes this key's published snapshot, with
+  // the usual epoch bump, compiled arena, and estimate parity.
+  HistogramEngine engine(TestOptions());
+  const auto model = HistogramModel::FromSimpleBuckets(
+      {{0.0, 10.5, 100.0}, {10.5, 40.0, 59.0}});
+  const EngineSnapshot published =
+      engine.PublishExternal("ext.key", model, /*watermark=*/77);
+  EXPECT_EQ(published.epoch(), 1u);
+  EXPECT_EQ(published.watermark(), 77u);
+  ASSERT_NE(published.compiled(), nullptr);
+
+  const EngineSnapshot read_back = engine.Snapshot("ext.key");
+  EXPECT_EQ(read_back.epoch(), 1u);
+  EXPECT_EQ(read_back.model().TotalCount(), model.TotalCount());
+  // The engine's query paths serve it, bit-identical to the source.
+  const CompiledSnapshot direct = CompiledSnapshot::Compile(model);
+  for (std::int64_t lo = 0; lo <= 40; lo += 3) {
+    EXPECT_EQ(engine.EstimateRange("ext.key", lo, lo + 11),
+              direct.EstimateRange(lo, lo + 11));
+  }
+
+  // Epochs keep counting across external publications, and the
+  // published-version counter advances (handle readers resync).
+  const EngineSnapshot second = engine.PublishExternal(
+      "ext.key", HistogramModel::FromSimpleBuckets({{0.0, 5.0, 7.0}}),
+      /*watermark=*/78);
+  EXPECT_EQ(second.epoch(), 2u);
+  EXPECT_EQ(engine.Snapshot("ext.key").watermark(), 78u);
+  EXPECT_EQ(engine.EstimateRange("ext.key", 0, 4), 7.0);
+}
+
+TEST(HistogramEngineTest, PublishExternalCoexistsWithKeyHandles) {
+  // A handle resolved before an external publication must observe it.
+  HistogramEngine engine(TestOptions());
+  const KeyHandle handle = engine.Resolve("ext.handle");
+  EXPECT_EQ(engine.EstimateRange(handle, 0, 100), 0.0);
+  engine.PublishExternal(
+      "ext.handle",
+      HistogramModel::FromSimpleBuckets({{0.0, 50.0, 500.0}}), 1);
+  EXPECT_EQ(engine.EstimateRange(handle, 0, 100), 500.0);
+}
+
 }  // namespace
 }  // namespace dynhist::engine

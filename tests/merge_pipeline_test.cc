@@ -174,6 +174,40 @@ TEST(PieceSweepSuperimposeTest, EmptyAndSingleInputs) {
   EXPECT_LT(KsBetweenModels(u, a), 1e-12);
 }
 
+TEST(PieceSweepSuperimposeTest, DegenerateInputsPinnedAcrossThePipeline) {
+  // PR 9 regression pins: a site fleet that has published nothing yet
+  // (or whose engines are all empty) flows through the whole merge
+  // pipeline — superposition, both reduction modes, the merger — and
+  // must come out as a well-formed empty model, never an abort. The
+  // aggregator leans on this when frames race ahead of data.
+  EXPECT_TRUE(Superimpose({HistogramModel(), HistogramModel()}).Empty());
+  EXPECT_TRUE(SuperimposeLegacy({}).Empty());
+  EXPECT_TRUE(
+      SuperimposeLegacy({HistogramModel(), HistogramModel()}).Empty());
+
+  // Reducing an empty composite is a no-op in both modes.
+  EXPECT_TRUE(
+      ReduceWithSsbm(HistogramModel(), 64, ReduceMode::kPieces).Empty());
+  EXPECT_TRUE(
+      ReduceWithSsbm(HistogramModel(), 64, ReduceMode::kCells).Empty());
+
+  // The stateful merger (the aggregator's actual entry point).
+  SnapshotMerger merger;
+  EXPECT_TRUE(merger.Superimpose({}).Empty());
+  EXPECT_TRUE(merger.MergeAndReduce({}, 64, ReduceMode::kPieces).Empty());
+  EXPECT_TRUE(merger.MergeAndReduce({}, 64, ReduceMode::kCells).Empty());
+  EXPECT_TRUE(merger
+                  .MergeAndReduce({HistogramModel(), HistogramModel()}, 64,
+                                  ReduceMode::kPieces)
+                  .Empty());
+  // A merger that just saw empties still merges real input correctly.
+  const auto a = HistogramModel::FromSimpleBuckets({{3.0, 8.0, 2.5}});
+  const HistogramModel u =
+      merger.MergeAndReduce({HistogramModel(), a}, 64, ReduceMode::kPieces);
+  EXPECT_DOUBLE_EQ(u.TotalCount(), 2.5);
+  EXPECT_LT(KsBetweenModels(u, a), 1e-12);
+}
+
 TEST(StreamingReduceTest, PiecesMatchCellsBitForBitOnCellAlignedFleet) {
   const auto models = DcShardModels(2'001, 4'000, 0.1, 11);
   const HistogramModel composite = Superimpose(models);
