@@ -8,7 +8,10 @@
 # ingest throughput, or if the compiled-snapshot query path drops below
 # 5x the piece-walk baseline; micro_dist_frames exits nonzero if
 # loopback frame ingest falls under 10k frames/sec or duplicate frames
-# cause any merges), and finally the multi-process loopback smoke test
+# cause any merges; micro_st_feedback exits nonzero if feedback-trained
+# accuracy falls under 2x the untrained equi-width baseline or the
+# 4-shard merged model drifts more than 10% from unmerged), and finally
+# the multi-process loopback smoke test
 # (scripts/loopback_smoke.sh: real server + client over 127.0.0.1 with
 # bit-identical and idempotence gates).
 #
@@ -16,8 +19,8 @@
 #   (default build dir: build)
 #
 # --bench-json additionally captures the benches' machine-readable series
-# (one JSON object per line) into BENCH_PR9.json at the repo root — the
-# perf-trajectory record (BENCH_PR2/PR4/PR7/PR8.json hold the
+# (one JSON object per line) into BENCH_PR10.json at the repo root — the
+# perf-trajectory record (BENCH_PR2..PR9.json hold the
 # earlier-era series). The file leads with a `_meta` line recording the
 # capture environment; in particular the stock container is 1-core, so
 # the multi-thread series document batching/pipelining wins, not
@@ -76,9 +79,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 run_bench() {
   # Runs a bench, teeing its stdout; with --bench-json the JSON series
-  # lines (and only those) are appended to BENCH_PR9.json.
+  # lines (and only those) are appended to BENCH_PR10.json.
   if [[ "$BENCH_JSON" == 1 ]]; then
-    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR9.json
+    "$@" --json | tee /dev/stderr | grep '^{' >> BENCH_PR10.json
   else
     "$@"
   fi
@@ -88,7 +91,7 @@ if [[ "$BENCH_JSON" == 1 ]]; then
   printf '{"bench":"_meta","series":"environment","cores":%s,"note":"%s"}\n' \
     "$(nproc 2>/dev/null || echo 1)" \
     "captured in a container; on 1 core the multi-thread series measure batching/pipelining, not parallel scaling" \
-    > BENCH_PR9.json
+    > BENCH_PR10.json
 fi
 
 echo "== merge-pipeline micro-bench (quick) =="
@@ -102,11 +105,17 @@ echo "== distributed frame micro-bench (quick) =="
 # one core or if duplicate frames cause any merges at all.
 run_bench "$BUILD_DIR/micro_dist_frames" --quick
 
+echo "== self-tuning feedback micro-bench (quick) =="
+# Exits nonzero if the feedback-trained model is not >= 2x better than
+# the untrained equi-width baseline or the 4-shard merged model drifts
+# more than 10% from the unmerged one.
+run_bench "$BUILD_DIR/micro_st_feedback" --quick
+
 echo "== loopback smoke (server + client over 127.0.0.1) =="
 scripts/loopback_smoke.sh "$BUILD_DIR"
 
 if [[ "$BENCH_JSON" == 1 ]]; then
-  echo "== bench series written to BENCH_PR9.json =="
+  echo "== bench series written to BENCH_PR10.json =="
 fi
 
 if [[ "$METRICS_JSON" == 1 ]]; then

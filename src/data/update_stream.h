@@ -19,14 +19,23 @@
 
 namespace dynhist {
 
-/// One histogram maintenance operation.
+/// One histogram maintenance operation. kInsert/kDelete carry a single
+/// attribute value; kFeedback carries a query-feedback observation (the
+/// range [value, hi] returned `actual` tuples — see
+/// Histogram::ApplyFeedback) and rides the same shard buffers as data
+/// ops so feedback is batched and coalesced like everything else.
 struct UpdateOp {
-  enum class Kind : std::uint8_t { kInsert, kDelete };
+  enum class Kind : std::uint8_t { kInsert, kDelete, kFeedback };
   Kind kind = Kind::kInsert;
-  std::int64_t value = 0;
+  std::int64_t value = 0;  ///< attribute value; range lo for kFeedback
+  std::int64_t hi = 0;     ///< range hi (kFeedback only)
+  double actual = 0.0;     ///< observed cardinality (kFeedback only)
 
-  static UpdateOp Insert(std::int64_t v) { return {Kind::kInsert, v}; }
-  static UpdateOp Delete(std::int64_t v) { return {Kind::kDelete, v}; }
+  static UpdateOp Insert(std::int64_t v) { return {Kind::kInsert, v, 0, 0.0}; }
+  static UpdateOp Delete(std::int64_t v) { return {Kind::kDelete, v, 0, 0.0}; }
+  static UpdateOp Feedback(std::int64_t lo, std::int64_t hi, double actual) {
+    return {Kind::kFeedback, lo, hi, actual};
+  }
 
   friend bool operator==(const UpdateOp&, const UpdateOp&) = default;
 };

@@ -6,9 +6,9 @@
 // measured against (Equi-Width/Depth, Compressed, V-Optimal, SADO, SSBM),
 // the Approximate-Compressed sampling baseline, quality metrics, synthetic
 // workloads, shared-nothing global-histogram construction, and the
-// concurrent histogram engine (sharded ingest + epoch snapshots), and
-// the distributed tier (snapshot frames, site shipper, socket
-// aggregator).
+// concurrent histogram engine (sharded ingest + epoch snapshots), the
+// distributed tier (snapshot frames, site shipper, socket aggregator),
+// and the query-feedback self-tuning backend (ST-FEEDBACK).
 //
 // Include this header for the full public API, or the individual module
 // headers for finer-grained dependencies.
@@ -34,6 +34,7 @@
 #include "src/histogram/model.h"           // IWYU pragma: export
 #include "src/histogram/serialize.h"       // IWYU pragma: export
 #include "src/histogram/ssbm.h"            // IWYU pragma: export
+#include "src/histogram/st_feedback.h"     // IWYU pragma: export
 #include "src/histogram/static_compressed.h"       // IWYU pragma: export
 #include "src/histogram/static_equi.h"     // IWYU pragma: export
 #include "src/histogram/static_voptimal.h"         // IWYU pragma: export
@@ -53,6 +54,7 @@
 #include "src/engine/key_handle.h"         // IWYU pragma: export
 #include "src/engine/shard.h"              // IWYU pragma: export
 #include "src/engine/snapshot.h"           // IWYU pragma: export
+#include "src/estimate/feedback_loop.h"    // IWYU pragma: export
 #include "src/estimate/selectivity.h"      // IWYU pragma: export
 #include "src/metrics/ks.h"                // IWYU pragma: export
 #include "src/metrics/query_error.h"       // IWYU pragma: export

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "src/histogram/st_feedback.h"
+
 namespace dynhist::engine {
 
 /// Which dynamic histogram each shard maintains. Restricted to the kinds
@@ -23,6 +25,7 @@ enum class ShardHistogramKind {
   kDynamicCompressed,  ///< DC (§3)
   kDynamicVOpt,        ///< DVO (§4, squared deviations)
   kDynamicAdo,         ///< DADO (§4.1, absolute deviations; paper's best)
+  kStFeedback,         ///< STF (query-feedback trained; st_feedback.h)
 };
 
 /// Tuning knobs of a HistogramEngine. The defaults suit a 5000-value
@@ -58,6 +61,11 @@ struct EngineOptions {
 
   /// DVO/DADO only: equal-width sub-buckets per bucket (§4).
   int sub_buckets = 2;
+
+  /// STF only: learning rate, restructure thresholds, and initial domain
+  /// of ST-FEEDBACK shards (see StFeedbackConfig). The `buckets` field is
+  /// ignored — `shard_buckets` sizes every shard kind uniformly.
+  StFeedbackConfig st_feedback{};
 
   /// Sort each drained shard batch by value and collapse duplicate values
   /// into weighted InsertN/DeleteN calls (inserts before deletes per
@@ -133,11 +141,22 @@ struct EngineOptions {
 
 /// Per-key overrides layered over the engine-wide EngineOptions by
 /// HistogramEngine::SetKeyOptions(). Absent fields keep the global value.
-/// Only publish-side knobs are per-key: they take effect immediately, on
-/// existing keys, without touching shard state. (Shard-layout knobs —
-/// shards, batch_size, kind, shard_buckets — are fixed at key creation
-/// from the global options.)
+/// The publish-side knobs take effect immediately, on existing keys,
+/// without touching shard state; `backend` is the one shard-layout knob
+/// and applies at key creation only (the remaining layout knobs —
+/// shards, batch_size, shard_buckets — always come from the global
+/// options).
 struct KeyOptionOverrides {
+  /// Per-key shard histogram kind — the backend selector that lets
+  /// feedback-trained (kStFeedback) keys coexist with data-driven
+  /// DC/DVO/DADO keys in one engine. Unlike every other override this is
+  /// a shard-layout knob, so it takes effect only at key creation:
+  /// SetKeyOptions(unknown key, {.backend = ...}) creates the key with
+  /// that kind; on an already-created key the field is ignored (the
+  /// shard histograms already exist). EffectiveOptions reports the kind
+  /// the key was actually created with.
+  std::optional<ShardHistogramKind> backend{};
+
   /// Per-key publication cadence (0 disables auto-publish for the key).
   std::optional<std::int64_t> snapshot_every{};
 

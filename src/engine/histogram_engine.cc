@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -43,6 +44,7 @@ std::string EngineStats::ToJson() const {
   std::snprintf(
       buf, sizeof buf,
       "{\"keys\":%" PRIu64 ",\"inserts\":%" PRIu64 ",\"deletes\":%" PRIu64
+      ",\"feedbacks\":%" PRIu64
       ",\"queries\":%" PRIu64 ",\"fallback_queries\":%" PRIu64
       ",\"unknown_queries\":%" PRIu64 ",\"lease_hits\":%" PRIu64
       ",\"lease_misses\":%" PRIu64 ",\"publishes\":%" PRIu64
@@ -51,7 +53,8 @@ std::string EngineStats::ToJson() const {
       ",\"publish_skipped\":%" PRIu64 ",\"publish_nanos\":%" PRIu64
       ",\"max_publish_nanos\":%" PRIu64 ",\"queue_wait_nanos\":%" PRIu64
       ",\"snapshot_epoch\":%" PRIu64 "}",
-      keys, inserts, deletes, queries, fallback_queries, unknown_queries,
+      keys, inserts, deletes, feedbacks, queries, fallback_queries,
+      unknown_queries,
       lease_hits, lease_misses, publishes, async_publishes, publish_queued,
       publish_coalesced, publish_rejected, publish_skipped, publish_nanos,
       max_publish_nanos, queue_wait_nanos, snapshot_epoch);
@@ -62,6 +65,7 @@ internal::KeyState::KeyState(std::string key_name,
                              const EngineOptions& options,
                              const ShardTelemetry& shard_telemetry)
     : name(std::move(key_name)),
+      kind(options.kind),
       snapshot_every(options.snapshot_every),
       merged_buckets(options.merged_buckets),
       legacy_reduce(options.use_legacy_cell_reduce),
@@ -151,6 +155,11 @@ HistogramEngine::KeyState* HistogramEngine::FindKey(
 
 HistogramEngine::KeyState* HistogramEngine::FindOrCreateKey(
     std::string_view key) {
+  return FindOrCreateKey(key, std::nullopt);
+}
+
+HistogramEngine::KeyState* HistogramEngine::FindOrCreateKey(
+    std::string_view key, std::optional<ShardHistogramKind> backend) {
   if (KeyState* state = FindKey(key)) return state;
   KeyState* created = nullptr;
   KeyState* state = nullptr;
@@ -158,8 +167,10 @@ HistogramEngine::KeyState* HistogramEngine::FindOrCreateKey(
     std::unique_lock<std::shared_mutex> lock(registry_mu_);
     auto [it, inserted] = registry_.try_emplace(std::string(key), nullptr);
     if (inserted) {
+      EngineOptions creation_options = options_;
+      if (backend) creation_options.kind = *backend;
       it->second = std::make_unique<KeyState>(
-          it->first, options_,
+          it->first, creation_options,
           ShardTelemetry{telemetry_on_ ? ingest_batch_hist_ : nullptr,
                          telemetry_on_ ? coalesce_run_hist_ : nullptr});
       created = it->second.get();
@@ -188,6 +199,8 @@ void HistogramEngine::RegisterKeyMetrics(KeyState& state) {
           c.inserts);
   counter("dynhist_key_deletes_total", "Delete() calls accepted",
           c.deletes);
+  counter("dynhist_key_feedbacks_total",
+          "RecordFeedback() observations accepted", c.feedbacks);
   counter("dynhist_key_queries_total", "Snapshot/estimate reads served",
           c.queries);
   counter("dynhist_key_fallback_queries_total",
@@ -222,6 +235,18 @@ void HistogramEngine::RegisterKeyMetrics(KeyState& state) {
   counter("dynhist_key_queue_wait_nanos_total",
           "Total nanoseconds this key's requests sat queued",
           c.queue_wait_nanos);
+
+  // Feedback convergence observable: the gap between what the published
+  // snapshot estimated and what the predicate actually returned, per
+  // observation. Registered unconditionally so a key's series set is
+  // stable; recorded only when telemetry is on (see RecordFeedback).
+  state.feedback_abs_error_hist.store(
+      metrics_.AddHistogram(
+          "dynhist_key_feedback_abs_error",
+          "Absolute range-estimate error |published estimate - actual| "
+          "observed at feedback time",
+          telemetry::LogBucketer::PerDecade(4), labels),
+      std::memory_order_release);
 
   KeyState* s = &state;
   metrics_.AddCallback(
@@ -325,6 +350,51 @@ void HistogramEngine::InsertBatch(std::string_view key,
                                     std::memory_order_release);
   state->update_count.fetch_add(values.size(), std::memory_order_relaxed);
   MaybeAutoPublish(*state);
+}
+
+void HistogramEngine::RecordFeedback(std::string_view key, std::int64_t lo,
+                                     std::int64_t hi, double actual) {
+  RecordFeedback(Resolve(key), lo, hi, actual);
+}
+
+void HistogramEngine::RecordFeedback(const KeyHandle& handle, std::int64_t lo,
+                                     std::int64_t hi, double actual) {
+  DH_CHECK(handle.valid());
+  DH_CHECK(lo <= hi);
+  DH_CHECK(actual >= 0.0);
+  KeyState& state = *handle.state_;
+
+  // Convergence telemetry first, against the snapshot the optimizer
+  // would have consulted for this predicate (a never-published key reads
+  // as the empty view, estimate 0 — exactly what a caller saw).
+  if (telemetry_on_) {
+    if (telemetry::LogHistogram* hist =
+            state.feedback_abs_error_hist.load(std::memory_order_acquire)) {
+      double estimate = 0.0;
+      if (const std::shared_ptr<const VersionedModel> published =
+              state.published.load(std::memory_order_acquire)) {
+        estimate = published->compiled.attached()
+                       ? published->compiled.EstimateRange(lo, hi)
+                       : published->model.EstimateRange(lo, hi);
+      }
+      hist->Record(static_cast<std::uint64_t>(
+          std::llround(std::fabs(estimate - actual))));
+    }
+  }
+
+  // Broadcast to every shard with `actual` scaled by 1/shards: a range
+  // predicate does not hash to one shard the way a value does, so each
+  // shard trains toward its expected share and the publish-time
+  // Superimpose sums the shares back to the full cardinality. The op
+  // rides the normal batch buffer (coalesced like inserts) and counts
+  // one update toward the publish cadence.
+  const double share =
+      actual / static_cast<double>(state.shards.size());
+  const UpdateOp op = UpdateOp::Feedback(lo, hi, share);
+  for (const auto& shard : state.shards) shard->Push(op);
+  state.update_count.fetch_add(1, std::memory_order_relaxed);
+  MaybeAutoPublish(state);
+  state.counters.feedbacks.fetch_add(1, std::memory_order_release);
 }
 
 void HistogramEngine::Flush(std::string_view key) {
@@ -589,6 +659,7 @@ void HistogramEngine::AccumulateStats(const KeyState& state,
   const KeyCounters& c = state.counters;
   stats->inserts += c.inserts.load(std::memory_order_acquire);
   stats->deletes += c.deletes.load(std::memory_order_acquire);
+  stats->feedbacks += c.feedbacks.load(std::memory_order_acquire);
   stats->queries += c.queries.load(std::memory_order_acquire);
   stats->fallback_queries +=
       c.fallback_queries.load(std::memory_order_acquire);
@@ -659,6 +730,9 @@ telemetry::MetricsSnapshot HistogramEngine::CollectMetrics() const {
       MetricKind::kCounter, stats.inserts);
   add("dynhist_engine_deletes_total", "Delete() calls accepted",
       MetricKind::kCounter, stats.deletes);
+  add("dynhist_engine_feedbacks_total",
+      "RecordFeedback() observations accepted", MetricKind::kCounter,
+      stats.feedbacks);
   add("dynhist_engine_queries_total",
       "Snapshot/estimate reads served (unknown keys included)",
       MetricKind::kCounter, stats.queries);
@@ -923,7 +997,10 @@ std::size_t HistogramEngine::BufferedOps(std::string_view key) const {
 
 void HistogramEngine::SetKeyOptions(std::string_view key,
                                     const KeyOptionOverrides& o) {
-  SetKeyOptions(Resolve(key), o);  // one lookup, shared with the queries
+  // The string form is where the backend selector can act: if this call
+  // creates the key, its shards are built with the overridden kind. On
+  // an existing key `backend` is ignored (shard layout is immutable).
+  SetKeyOptions(KeyHandle(FindOrCreateKey(key, o.backend)), o);
 }
 
 void HistogramEngine::SetKeyOptions(const KeyHandle& handle,
@@ -969,6 +1046,7 @@ EngineOptions HistogramEngine::EffectiveOptionsOf(
     const KeyState& st) const {
   EngineOptions effective = options_;
   const KeyState* state = &st;
+  effective.kind = state->kind;
   effective.snapshot_every =
       state->snapshot_every.load(std::memory_order_relaxed);
   effective.merged_buckets =

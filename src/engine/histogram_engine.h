@@ -94,6 +94,7 @@ struct EngineStats {
   std::uint64_t keys = 0;        ///< registered histogram keys
   std::uint64_t inserts = 0;     ///< Insert() calls accepted
   std::uint64_t deletes = 0;     ///< Delete() calls accepted
+  std::uint64_t feedbacks = 0;   ///< RecordFeedback() calls accepted
   std::uint64_t queries = 0;     ///< estimate / snapshot reads served
   std::uint64_t fallback_queries = 0;  ///< estimate reads that walked model
                                        ///< pieces because the published
@@ -175,6 +176,21 @@ class HistogramEngine {
   void InsertBatch(std::string_view key,
                    const std::vector<std::int64_t>& values);
 
+  /// Records one query-feedback observation for `key`: the predicate
+  /// lo <= A <= hi was executed and returned `actual` tuples. The
+  /// observation is broadcast to every shard with `actual` scaled by
+  /// 1/shards — a range does not hash to one shard the way a value
+  /// does, so each shard trains toward its 1/shards share and the
+  /// publish-time Superimpose sums the shares back to the full
+  /// cardinality. Feedback rides the normal batch buffers (coalesced
+  /// like inserts — see EngineShard), counts one update toward the
+  /// publish cadence, and is a no-op on data-driven backends (DC/DVO/
+  /// DADO ignore it), so it is safe against any key. Thread-safe.
+  void RecordFeedback(std::string_view key, std::int64_t lo, std::int64_t hi,
+                      double actual);
+  void RecordFeedback(const KeyHandle& handle, std::int64_t lo,
+                      std::int64_t hi, double actual);
+
   /// Drains every shard buffer of `key` (all keys for FlushAll) into the
   /// underlying histograms. Does not publish.
   void Flush(std::string_view key);
@@ -213,8 +229,11 @@ class HistogramEngine {
   /// Layers per-key overrides over the global EngineOptions for `key`
   /// (creating the key if needed). Present fields take effect immediately
   /// — including on the async/sync publish routing of in-flight writers;
-  /// absent fields keep their current per-key value. Thread-safe. The
-  /// string form is a thin wrapper: Resolve + the handle overload.
+  /// absent fields keep their current per-key value. Thread-safe.
+  /// `backend` is the exception: it is a creation-time knob, honored
+  /// only when the string form creates the key (so set a key's backend
+  /// BEFORE its first update); on an existing key — and always through
+  /// the handle form, which implies the key exists — it is ignored.
   void SetKeyOptions(std::string_view key, const KeyOptionOverrides& o);
   void SetKeyOptions(const KeyHandle& handle, const KeyOptionOverrides& o);
 
@@ -345,9 +364,13 @@ class HistogramEngine {
   using KeyCounters = internal::KeyCounters;
 
   // Finds the key's state, creating it on the update path. Never returns
-  // nullptr when create is true.
+  // nullptr when create is true. `backend` overrides the shard histogram
+  // kind if (and only if) this call creates the key — the
+  // KeyOptionOverrides::backend selector.
   KeyState* FindKey(std::string_view key) const;
   KeyState* FindOrCreateKey(std::string_view key);
+  KeyState* FindOrCreateKey(std::string_view key,
+                            std::optional<ShardHistogramKind> backend);
 
   // Registers the key's per-key counter/gauge callbacks with the metrics
   // registry. Called by the creating thread AFTER registry_mu_ is

@@ -32,6 +32,7 @@ namespace dynhist::engine::internal {
 struct KeyCounters {
   std::atomic<std::uint64_t> inserts{0};
   std::atomic<std::uint64_t> deletes{0};
+  std::atomic<std::uint64_t> feedbacks{0};
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> fallback_queries{0};
   std::atomic<std::uint64_t> lease_hits{0};
@@ -55,7 +56,19 @@ struct KeyState {
   /// metric labels reference its storage.
   const std::string name;
 
+  /// The shard histogram kind this key was created with (the global
+  /// EngineOptions::kind, or the KeyOptionOverrides::backend override at
+  /// creation). Immutable: the shard histograms already exist.
+  const ShardHistogramKind kind;
+
   std::vector<std::unique_ptr<EngineShard>> shards;
+
+  /// Per-key |published estimate − actual| distribution, recorded at
+  /// RecordFeedback time (the convergence observable: how wrong the
+  /// optimizer-visible snapshot was about each observed predicate).
+  /// Registered by RegisterKeyMetrics after creation; null until then
+  /// and when telemetry is off.
+  std::atomic<telemetry::LogHistogram*> feedback_abs_error_hist{nullptr};
 
   KeyCounters counters;
 

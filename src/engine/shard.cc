@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/histogram/dynamic_compressed.h"
 #include "src/histogram/dynamic_vopt.h"
+#include "src/histogram/st_feedback.h"
 
 namespace dynhist::engine {
 
@@ -26,6 +27,11 @@ std::unique_ptr<Histogram> MakeShardHistogram(const EngineOptions& options) {
           DynamicVOptConfig{.buckets = options.shard_buckets,
                             .policy = DeviationPolicy::kAbsolute,
                             .sub_buckets = options.sub_buckets});
+    case ShardHistogramKind::kStFeedback: {
+      StFeedbackConfig config = options.st_feedback;
+      config.buckets = options.shard_buckets;
+      return std::make_unique<StFeedbackHistogram>(config);
+    }
   }
   DH_CHECK(false);
   return nullptr;
@@ -106,17 +112,41 @@ void EngineShard::ApplyLocked(const std::vector<UpdateOp>& batch) {
     // absorbing the whole drain as a handful of giant weighted steps.
     const auto chunk = static_cast<std::size_t>(batch_size_);
     for (std::size_t begin = 0; begin < batch.size(); begin += chunk) {
-      CoalesceAndApply(batch, begin,
-                       std::min(batch.size(), begin + chunk));
+      const std::size_t end = std::min(batch.size(), begin + chunk);
+      // Feedback ops must not enter the value-sorted data coalesce:
+      // segment the chunk into maximal data / feedback runs, coalescing
+      // each kind its own way while preserving their relative order (the
+      // feedback update rule reads the frequencies data ops write).
+      std::size_t seg = begin;
+      while (seg < end) {
+        const bool feedback = batch[seg].kind == UpdateOp::Kind::kFeedback;
+        std::size_t stop = seg + 1;
+        while (stop < end &&
+               (batch[stop].kind == UpdateOp::Kind::kFeedback) == feedback) {
+          ++stop;
+        }
+        if (feedback) {
+          CoalesceFeedbackAndApply(batch, seg, stop);
+        } else {
+          CoalesceAndApply(batch, seg, stop);
+        }
+        seg = stop;
+      }
     }
   } else {
     for (const UpdateOp& op : batch) {
-      if (op.kind == UpdateOp::Kind::kInsert) {
-        histogram_->Insert(op.value);
-      } else {
-        // The engine's supported kinds ignore live_copies_before (see
-        // ShardHistogramKind); 1 is the conservative "it existed" value.
-        histogram_->Delete(op.value, 1);
+      switch (op.kind) {
+        case UpdateOp::Kind::kInsert:
+          histogram_->Insert(op.value);
+          break;
+        case UpdateOp::Kind::kDelete:
+          // The engine's supported kinds ignore live_copies_before (see
+          // ShardHistogramKind); 1 is the conservative "it existed" value.
+          histogram_->Delete(op.value, 1);
+          break;
+        case UpdateOp::Kind::kFeedback:
+          histogram_->ApplyFeedback(op.value, op.hi, op.actual);
+          break;
       }
     }
   }
@@ -168,6 +198,27 @@ void EngineShard::CoalesceAndApply(const std::vector<UpdateOp>& batch,
     }
     if (g.inserts > 0) histogram_->InsertN(g.value, g.inserts);
     if (g.deletes > 0) histogram_->DeleteN(g.value, g.deletes);
+  }
+}
+
+void EngineShard::CoalesceFeedbackAndApply(
+    const std::vector<UpdateOp>& batch, std::size_t begin, std::size_t end) {
+  // Consecutive identical observations (a repeated predicate) collapse
+  // into one weighted ApplyFeedbackN — bit-identical to the sequential
+  // replay by the Histogram contract. Distinct observations keep their
+  // arrival order: the error-driven update rule is not commutative
+  // across predicates, so reordering would change the trajectory.
+  std::size_t i = begin;
+  while (i < end) {
+    std::size_t j = i + 1;
+    while (j < end && batch[j] == batch[i]) ++j;
+    const auto run = static_cast<std::int64_t>(j - i);
+    if (run >= 2 && telemetry_.coalesce_run != nullptr) {
+      telemetry_.coalesce_run->Record(static_cast<std::uint64_t>(run));
+    }
+    histogram_->ApplyFeedbackN(batch[i].value, batch[i].hi, batch[i].actual,
+                               run);
+    i = j;
   }
 }
 

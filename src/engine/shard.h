@@ -95,9 +95,15 @@ class EngineShard {
   void ApplyLocked(const std::vector<UpdateOp>& batch);
 
   // Coalesces batch[begin, end) by value and applies the weighted groups
-  // in first-occurrence order (under hist_mu_).
+  // in first-occurrence order (under hist_mu_). Data ops only.
   void CoalesceAndApply(const std::vector<UpdateOp>& batch, std::size_t begin,
                         std::size_t end);
+
+  // Coalesces a run of feedback ops batch[begin, end): consecutive
+  // identical observations collapse into one ApplyFeedbackN; distinct
+  // observations stay in arrival order (under hist_mu_).
+  void CoalesceFeedbackAndApply(const std::vector<UpdateOp>& batch,
+                                std::size_t begin, std::size_t end);
 
   const int batch_size_;
   const bool coalesce_;

@@ -54,6 +54,37 @@ class Histogram {
     for (std::int64_t i = 0; i < count; ++i) Delete(value, 1);
   }
 
+  /// Records one query-feedback observation: the range predicate
+  /// lo <= A <= hi (inclusive integers, the EstimateRange convention)
+  /// was executed and returned `actual` tuples. Feedback-trained
+  /// histograms (st_feedback.h) fold the observed estimation error into
+  /// their buckets and return the pre-update absolute error
+  /// |actual - est|; data-driven histograms ignore the observation and
+  /// return -1.0 (the "unsupported" sentinel), so feedback can be
+  /// broadcast to heterogeneous backends safely.
+  virtual double ApplyFeedback(std::int64_t lo, std::int64_t hi,
+                               double actual) {
+    (void)lo;
+    (void)hi;
+    (void)actual;
+    return -1.0;
+  }
+
+  /// Records `times` identical feedback observations — the coalesced
+  /// form the engine's batch buffers produce for repeated predicates.
+  /// Equivalent to `times` ApplyFeedback calls (overrides must keep the
+  /// trajectory bit-identical to the sequential replay); returns the
+  /// first call's pre-update absolute error.
+  virtual double ApplyFeedbackN(std::int64_t lo, std::int64_t hi,
+                                double actual, std::int64_t times) {
+    double first = -1.0;
+    for (std::int64_t i = 0; i < times; ++i) {
+      const double abs_err = ApplyFeedback(lo, hi, actual);
+      if (i == 0) first = abs_err;
+    }
+    return first;
+  }
+
   /// Exports the current estimation snapshot.
   virtual HistogramModel Model() const = 0;
 

@@ -326,5 +326,68 @@ TEST(EngineHandleTest, LeaseMetricsExposed) {
       std::string::npos);
 }
 
+// PublishExternal enters the same publish tail as shard-path refreshes,
+// so the whole KeyHandle/lease lifecycle must be indistinguishable: a
+// handle resolved before the key ever had a snapshot observes each
+// external version, each publication bumps the version exactly once
+// (staleness 0 -> 1 -> 0 around an unread publish), and the
+// revalidation shows up as one lease miss followed by pure hits.
+TEST(EngineHandleTest, ExternalPublicationsDriveLeaseLifecycle) {
+  internal::ReleaseThreadLeases();
+  HistogramEngine engine(TestOptions());
+
+  // Pre-resolved handle on a key with no snapshot yet: empty fallback.
+  const KeyHandle h = engine.Resolve("ext");
+  EXPECT_EQ(h.epoch(), 0u);
+  EXPECT_EQ(engine.EstimateRange(h, 0, 100), 0.0);
+
+  const EngineSnapshot first = engine.PublishExternal(
+      "ext", HistogramModel::FromSimpleBuckets({{0.0, 50.0, 500.0}}),
+      /*watermark=*/7);
+  EXPECT_EQ(first.epoch(), 1u);
+
+  // Unread publication: the staleness gauge reports one version the
+  // reader fleet has not observed.
+  std::string text;
+  engine.WriteMetricsPrometheus(&text);
+  EXPECT_NE(
+      text.find("dynhist_key_lease_staleness_versions{key=\"ext\"} 1"),
+      std::string::npos);
+
+  // The stale pre-resolved handle revalidates (one miss) and serves the
+  // external model; repeated reads are lease hits, staleness drops to 0.
+  const EngineStats before = engine.Stats(h);
+  EXPECT_EQ(engine.EstimateRange(h, 0, 100), 500.0);
+  for (int q = 0; q < 5; ++q) engine.EstimateRange(h, 0, 100);
+  const EngineStats after = engine.Stats(h);
+  EXPECT_EQ(after.lease_misses - before.lease_misses, 1u);
+  EXPECT_EQ(after.lease_hits - before.lease_hits, 5u);
+  text.clear();
+  engine.WriteMetricsPrometheus(&text);
+  EXPECT_NE(
+      text.find("dynhist_key_lease_staleness_versions{key=\"ext\"} 0"),
+      std::string::npos);
+
+  // Next external version: epoch and watermark advance, the same handle
+  // flips to the new model on its next read, and the gauge round-trips
+  // 0 -> 1 -> 0 again.
+  const EngineSnapshot second = engine.PublishExternal(
+      "ext", HistogramModel::FromSimpleBuckets({{0.0, 25.0, 40.0}}),
+      /*watermark=*/9);
+  EXPECT_EQ(second.epoch(), 2u);
+  EXPECT_EQ(engine.Snapshot("ext").watermark(), 9u);
+  text.clear();
+  engine.WriteMetricsPrometheus(&text);
+  EXPECT_NE(
+      text.find("dynhist_key_lease_staleness_versions{key=\"ext\"} 1"),
+      std::string::npos);
+  EXPECT_EQ(engine.EstimateRange(h, 0, 100), 40.0);
+  text.clear();
+  engine.WriteMetricsPrometheus(&text);
+  EXPECT_NE(
+      text.find("dynhist_key_lease_staleness_versions{key=\"ext\"} 0"),
+      std::string::npos);
+}
+
 }  // namespace
 }  // namespace dynhist::engine

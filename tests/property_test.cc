@@ -3,8 +3,11 @@
 // sweeps). These are the library's safety net against maintenance bugs
 // that single-example tests miss.
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -251,6 +254,146 @@ TEST_P(EngineSyncAsyncOracleTest, PostDrainSnapshotsBitIdentical) {
   EXPECT_DOUBLE_EQ(async_engine.LiveTotalCount(kKey), expected);
   EXPECT_DOUBLE_EQ(sync_engine.LiveTotalCount(kKey), expected);
   EXPECT_NEAR(a.TotalCount(), expected, 1e-6 * (1.0 + expected));
+}
+
+// ---------------------------------------------------------------------------
+// Feedback convergence oracle: on a stationary workload, an ST-FEEDBACK
+// histogram must learn — its windowed mean training error (the pre-update
+// |actual - estimate| that ApplyFeedback returns) must be non-increasing
+// across geometrically growing checkpoints. Raw point-in-time error
+// snapshots are NOT monotone (restructure transients spike them); the
+// windowed mean over [prev checkpoint, checkpoint) is the statistic that
+// is, with 2-30x margins across seeds.
+
+class StFeedbackConvergenceOracleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StFeedbackConvergenceOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 20),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+TEST_P(StFeedbackConvergenceOracleTest, WindowedTrainingErrorNonIncreasing) {
+  const std::uint64_t seed = GetParam();
+  constexpr std::int64_t kFbDomain = 2'000;
+
+  // A stationary skewed relation and a stationary skewed query mix.
+  Rng data_rng(seed);
+  const ZipfDistribution zipf(static_cast<std::size_t>(kFbDomain), 1.2);
+  FrequencyVector truth(kFbDomain);
+  for (int i = 0; i < 60'000; ++i) {
+    truth.Insert(static_cast<std::int64_t>(zipf.Sample(data_rng)));
+  }
+
+  StFeedbackConfig config;
+  config.buckets = 48;
+  config.domain_lo = 0;
+  config.domain_hi = kFbDomain - 1;
+  StFeedbackHistogram h(config);
+
+  Rng query_rng(seed + 555);
+  const std::vector<int> checkpoints = {100, 400, 1'600, 6'400};
+  double prev_window_mean = std::numeric_limits<double>::infinity();
+  int fed = 0;
+  for (const int checkpoint : checkpoints) {
+    double window_error_sum = 0.0;
+    const int window = checkpoint - fed;
+    for (; fed < checkpoint; ++fed) {
+      const auto center =
+          static_cast<std::int64_t>(zipf.Sample(query_rng));
+      const std::int64_t width = query_rng.UniformInt(1, 100);
+      const std::int64_t lo = std::max<std::int64_t>(0, center - width / 2);
+      const std::int64_t hi = std::min<std::int64_t>(kFbDomain - 1, lo + width);
+      window_error_sum += h.ApplyFeedback(
+          lo, hi, static_cast<double>(truth.RangeCount(lo, hi)));
+    }
+    const double window_mean = window_error_sum / window;
+    EXPECT_LE(window_mean, prev_window_mean)
+        << "seed " << seed << " at checkpoint " << checkpoint;
+    prev_window_mean = window_mean;
+  }
+}
+
+// Same sync-vs-async bit-identity oracle as above, for the feedback path:
+// RecordFeedback rides the shard batch buffers, gets coalesced, and is
+// broadcast with 1/shards scaling — none of which may depend on when the
+// async merges run. batch_size 1 again pins the shard trajectories.
+
+class FeedbackSyncAsyncOracleTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeedbackSyncAsyncOracleTest,
+                         ::testing::Range<std::uint64_t>(0, 20),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+TEST_P(FeedbackSyncAsyncOracleTest, PostDrainSnapshotsBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  constexpr char kKey[] = "stf.oracle.key";
+  constexpr std::int64_t kFbDomain = 2'000;
+
+  engine::EngineOptions async_options;
+  async_options.shards = 4;
+  async_options.batch_size = 1;
+  async_options.snapshot_every = 256;
+  async_options.async_publish = true;
+  async_options.merge_workers = 0;
+  async_options.kind = engine::ShardHistogramKind::kStFeedback;
+  async_options.st_feedback.domain_lo = 0;
+  async_options.st_feedback.domain_hi = kFbDomain - 1;
+  engine::EngineOptions sync_options = async_options;
+  sync_options.async_publish = false;
+
+  engine::HistogramEngine async_engine(async_options);
+  engine::HistogramEngine sync_engine(sync_options);
+
+  // Mixed data + feedback stream against a stationary zipf relation.
+  Rng rng(seed + 30'000);
+  const ZipfDistribution zipf(static_cast<std::size_t>(kFbDomain), 1.0);
+  FrequencyVector truth(kFbDomain);
+  for (int i = 0; i < 20'000; ++i) {
+    truth.Insert(static_cast<std::int64_t>(zipf.Sample(rng)));
+  }
+  std::vector<UpdateOp> stream;
+  stream.reserve(4'000);
+  for (int i = 0; i < 4'000; ++i) {
+    if (rng.Bernoulli(0.4)) {
+      stream.push_back(
+          UpdateOp::Insert(static_cast<std::int64_t>(zipf.Sample(rng))));
+    } else {
+      const auto center = static_cast<std::int64_t>(zipf.Sample(rng));
+      const std::int64_t width = rng.UniformInt(1, 100);
+      const std::int64_t lo = std::max<std::int64_t>(0, center - width / 2);
+      const std::int64_t hi = std::min<std::int64_t>(kFbDomain - 1, lo + width);
+      stream.push_back(UpdateOp::Feedback(
+          lo, hi, static_cast<double>(truth.RangeCount(lo, hi))));
+    }
+  }
+
+  Rng schedule(seed + 40'000);
+  for (const UpdateOp& op : stream) {
+    testing::ApplyToEngine(async_engine, kKey, op);
+    testing::ApplyToEngine(sync_engine, kKey, op);
+    if (schedule.Bernoulli(1.0 / 701.0)) async_engine.PumpPublishes();
+    if (schedule.Bernoulli(1.0 / 1709.0)) {
+      async_engine.RefreshSnapshot(kKey);
+      sync_engine.RefreshSnapshot(kKey);
+    }
+  }
+
+  async_engine.DrainPublishes();
+  async_engine.RefreshAll();
+  sync_engine.RefreshAll();
+
+  const engine::EngineSnapshot a = async_engine.Snapshot(kKey);
+  const engine::EngineSnapshot s = sync_engine.Snapshot(kKey);
+  ASSERT_EQ(a.watermark(), static_cast<std::uint64_t>(stream.size()));
+  ASSERT_EQ(s.watermark(), static_cast<std::uint64_t>(stream.size()));
+  EXPECT_TRUE(testing::ModelsBitIdentical(a.model(), s.model()))
+      << "seed " << seed;
+  EXPECT_EQ(async_engine.Stats(kKey).feedbacks, sync_engine.Stats(kKey).feedbacks);
 }
 
 }  // namespace

@@ -60,10 +60,16 @@ inline bool ModelsBitIdentical(const HistogramModel& a,
 /// Feeds one update-stream operation to an engine key.
 inline void ApplyToEngine(engine::HistogramEngine& engine,
                           std::string_view key, const UpdateOp& op) {
-  if (op.kind == UpdateOp::Kind::kInsert) {
-    engine.Insert(key, op.value);
-  } else {
-    engine.Delete(key, op.value);
+  switch (op.kind) {
+    case UpdateOp::Kind::kInsert:
+      engine.Insert(key, op.value);
+      break;
+    case UpdateOp::Kind::kDelete:
+      engine.Delete(key, op.value);
+      break;
+    case UpdateOp::Kind::kFeedback:
+      engine.RecordFeedback(key, op.value, op.hi, op.actual);
+      break;
   }
 }
 
